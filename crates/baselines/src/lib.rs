@@ -1,0 +1,27 @@
+//! # sparse-baselines
+//!
+//! Comparator models for the paper's evaluation: TACO, SPARSKIT, and
+//! Intel MKL conversion routines (Figure 2) and HiCOO's hand-written
+//! z-Morton reordering (Table 4).
+//!
+//! The Figure-2 models are loop-AST programs executed by the same
+//! interpreter as the synthesized inspectors, so comparisons measure
+//! algorithmic structure (passes, sorts, searches), not dispatch
+//! technology. The HiCOO model is native, hand-optimized Rust — matching
+//! the paper, where the comparison is against highly optimized
+//! hand-written code. See DESIGN.md ("Substitutions") for the full
+//! rationale.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fig2;
+pub mod hicoo;
+pub mod vm;
+
+pub use fig2::{
+    coo_to_csr, coo_to_csc, coo_to_dia, csr_to_csc, run_coo_to_csc, run_coo_to_csr,
+    run_coo_to_dia, run_csr_to_csc, Library,
+};
+pub use hicoo::hicoo_morton_sort3;
+pub use vm::{RoutineBuilder, VmRoutine};

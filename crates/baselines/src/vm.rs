@@ -1,0 +1,189 @@
+//! The baseline virtual-machine harness.
+//!
+//! Every Figure-2 comparator (TACO, SPARSKIT, Intel MKL) is modelled as a
+//! hand-written loop-AST program executed by the *same* interpreter that
+//! runs synthesized inspectors. This keeps the comparison about
+//! *algorithmic structure* — how many passes, whether a sort happens,
+//! whether lookups are direct or searched — rather than about
+//! native-vs-interpreted dispatch, mirroring the paper's setup where both
+//! sides compile to C. (See DESIGN.md, "Substitutions".)
+
+use spf_codegen::ast::{CmpOp, Cond, Expr, Slot, SlotAlloc, Stmt};
+use spf_codegen::interp::{compile, execute, ExecError, ExecStats, Program};
+use spf_codegen::runtime::{ListOrder, OrderedList, RtEnv};
+
+/// A compiled baseline routine plus the ordered lists it needs declared.
+pub struct VmRoutine {
+    program: Program,
+    lists: Vec<(String, usize, ListOrder, bool)>,
+}
+
+impl VmRoutine {
+    /// Executes against `env`, declaring lists first.
+    ///
+    /// # Errors
+    /// Propagates interpreter errors.
+    pub fn execute(&self, env: &mut RtEnv) -> Result<ExecStats, ExecError> {
+        for (name, width, order, unique) in &self.lists {
+            env.lists
+                .insert(name.clone(), OrderedList::new(*width, order.clone(), *unique));
+        }
+        execute(&self.program, env)
+    }
+}
+
+/// Incremental builder for baseline AST programs.
+pub struct RoutineBuilder {
+    slots: SlotAlloc,
+    stmts: Vec<Stmt>,
+    lists: Vec<(String, usize, ListOrder, bool)>,
+}
+
+impl Default for RoutineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoutineBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        RoutineBuilder { slots: SlotAlloc::new(), stmts: Vec::new(), lists: Vec::new() }
+    }
+
+    /// Declares an ordered list.
+    pub fn list(&mut self, name: &str, width: usize, order: ListOrder, unique: bool) {
+        self.lists.push((name.to_string(), width, order, unique));
+    }
+
+    /// Appends a statement.
+    pub fn push(&mut self, s: Stmt) {
+        self.stmts.push(s);
+    }
+
+    /// `for (v = lo; v < hi; v++) body(v)` with a fresh slot.
+    pub fn for_loop(
+        &mut self,
+        var: &str,
+        lo: Expr,
+        hi: Expr,
+        body: impl FnOnce(&mut Self, Expr) -> Vec<Stmt>,
+    ) {
+        let slot = self.slots.alloc(var);
+        let v = Expr::Var(var.to_string(), slot);
+        let body = body(self, v);
+        self.stmts.push(Stmt::For { var: var.to_string(), slot, lo, hi, body });
+    }
+
+    /// Allocates a fresh loop slot without pushing a statement (for nested
+    /// loops built inside closures).
+    pub fn fresh(&mut self, var: &str) -> (Slot, Expr) {
+        let slot = self.slots.alloc(var);
+        (slot, Expr::Var(var.to_string(), slot))
+    }
+
+    /// Finishes and compiles the routine.
+    pub fn build(self) -> VmRoutine {
+        VmRoutine { program: compile(&self.stmts, &self.slots), lists: self.lists }
+    }
+}
+
+/// `uf[idx]`.
+pub fn rd(uf: &str, idx: Expr) -> Expr {
+    Expr::uf_read(uf, idx)
+}
+
+/// `uf[idx] = value;`
+pub fn wr(uf: &str, idx: Expr, value: Expr) -> Stmt {
+    Stmt::UfWrite { uf: uf.into(), idx, value }
+}
+
+/// `uf[idx] = uf[idx] + 1;`
+pub fn incr(uf: &str, idx: Expr) -> Stmt {
+    wr(
+        uf,
+        idx.clone(),
+        Expr::add(rd(uf, idx), Expr::Const(1)),
+    )
+}
+
+/// A symbolic constant.
+pub fn sym(name: &str) -> Expr {
+    Expr::Sym(name.into())
+}
+
+/// An integer literal.
+pub fn c(v: i64) -> Expr {
+    Expr::Const(v)
+}
+
+/// Allocation statement for an integer array.
+pub fn alloc(uf: &str, size: Expr, init: i64) -> Stmt {
+    Stmt::UfAlloc { uf: uf.into(), size, init: Expr::Const(init) }
+}
+
+/// Allocation statement for a data array.
+pub fn dalloc(arr: &str, size: Expr) -> Stmt {
+    Stmt::DataAlloc { arr: arr.into(), size }
+}
+
+/// `dst[di] = src[si];`
+pub fn copy(dst: &str, di: Expr, src: &str, si: Expr) -> Stmt {
+    Stmt::Copy { dst: dst.into(), dst_idx: di, src: src.into(), src_idx: si }
+}
+
+/// Single-comparison guard.
+pub fn guard(lhs: Expr, op: CmpOp, rhs: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::If { cond: Cond::cmp(lhs, op, rhs), body }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_runs_histogram() {
+        let mut b = RoutineBuilder::new();
+        b.push(alloc("h", sym("NR"), 0));
+        b.for_loop("n", c(0), sym("NNZ"), |_b, n| {
+            vec![incr("h", rd("row", n))]
+        });
+        let routine = b.build();
+        let mut env = RtEnv::new()
+            .with_sym("NR", 3)
+            .with_sym("NNZ", 4)
+            .with_uf("row", vec![0, 2, 2, 1]);
+        routine.execute(&mut env).unwrap();
+        assert_eq!(env.ufs["h"], vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn nested_loop_via_fresh() {
+        let mut b = RoutineBuilder::new();
+        b.push(alloc("out", c(1), 0));
+        let (islot, iexpr) = b.fresh("i");
+        let (jslot, jexpr) = b.fresh("j");
+        b.push(Stmt::For {
+            var: "i".into(),
+            slot: islot,
+            lo: c(0),
+            hi: c(3),
+            body: vec![Stmt::For {
+                var: "j".into(),
+                slot: jslot,
+                lo: c(0),
+                hi: c(3),
+                body: vec![wr(
+                    "out",
+                    c(0),
+                    Expr::add(rd("out", c(0)), Expr::add(iexpr.clone(), jexpr.clone())),
+                )],
+            }],
+        });
+        let routine = b.build();
+        let mut env = RtEnv::new();
+        routine.execute(&mut env).unwrap();
+        // sum over i,j in 0..3 of (i+j) = 2 * 3 * (0+1+2) = 18
+        assert_eq!(env.ufs["out"], vec![18]);
+    }
+}

@@ -1,0 +1,349 @@
+//! # sparse-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation:
+//!
+//! * Figure 2a — COO→CSC vs TACO / SPARSKIT / MKL models
+//! * Figure 2b — CSR→CSC
+//! * Figure 2c — COO→CSR (the 2.85× headline)
+//! * Figure 2d — COO→DIA with the synthesized linear search
+//! * Figure 3  — COO→DIA with the binary-search optimization
+//! * Table 4   — COO3D→MCOO3 vs the hand-written HiCOO z-Morton sort
+//! * Table 5   — the qualitative feature matrix
+//!
+//! All Figure-2 comparators run on the same interpreter VM as the
+//! synthesized inspectors (see `sparse-baselines`); the Table-4
+//! comparator is native hand-optimized Rust, matching the paper's
+//! hand-written/highly-optimized framing. Timings are wall-clock minima
+//! over `reps` repetitions of the conversion work only (source binding is
+//! outside the timer).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::time::Instant;
+
+use sparse_baselines::{fig2, hicoo_morton_sort3, Library};
+use sparse_formats::{descriptors, Coo3Tensor, CooMatrix, CsrMatrix};
+use sparse_matgen::suite::{table3_suite, table4_suite, MatrixSpec};
+use sparse_synthesis::{run as synth_run, Conversion, SynthesisOptions};
+use spf_codegen::runtime::RtEnv;
+
+/// One matrix row of a Figure-2 style experiment (times in seconds).
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    /// Matrix name (synthetic twin of the Table-3 entry).
+    pub matrix: String,
+    /// Nonzeros of the generated instance.
+    pub nnz: usize,
+    /// Synthesized-code time.
+    pub ours: f64,
+    /// Per-library baseline times, ordered as [`Library::ALL`].
+    pub baselines: [f64; 3],
+}
+
+/// One tensor row of the Table-4 experiment.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Tensor name (synthetic twin of the FROSTT entry).
+    pub tensor: String,
+    /// Nonzeros of the generated instance.
+    pub nnz: usize,
+    /// Hand-written HiCOO-style Morton sort time.
+    pub hicoo: f64,
+    /// Synthesized conversion time.
+    pub ours: f64,
+}
+
+/// Times `f` as the minimum over `reps` runs.
+pub fn time_min(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Geometric mean of `xs` (empty input gives NaN).
+pub fn geomean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for x in xs {
+        log_sum += x.ln();
+        n += 1;
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Geomean speedup of `ours` against one baseline column
+/// (`> 1` means the synthesized code is faster).
+pub fn geomean_speedup(rows: &[Fig2Row], lib_idx: usize) -> f64 {
+    geomean(rows.iter().map(|r| r.baselines[lib_idx] / r.ours))
+}
+
+/// Which conversion a Figure-2 experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig2Kind {
+    /// Figure 2a.
+    CooToCsc,
+    /// Figure 2b.
+    CsrToCsc,
+    /// Figure 2c.
+    CooToCsr,
+    /// Figure 2d (synthesized linear search).
+    CooToDiaLinear,
+    /// Figure 3 (synthesized binary search).
+    CooToDiaBinary,
+}
+
+impl Fig2Kind {
+    /// Display label matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Fig2Kind::CooToCsc => "Fig 2a: COO -> CSC",
+            Fig2Kind::CsrToCsc => "Fig 2b: CSR -> CSC",
+            Fig2Kind::CooToCsr => "Fig 2c: COO -> CSR",
+            Fig2Kind::CooToDiaLinear => "Fig 2d: COO -> DIA (linear search)",
+            Fig2Kind::CooToDiaBinary => "Fig 3: COO -> DIA (binary search)",
+        }
+    }
+
+    /// Restrict to matrices where the destination is feasible.
+    fn applicable(self, spec: &MatrixSpec) -> bool {
+        match self {
+            Fig2Kind::CooToDiaLinear | Fig2Kind::CooToDiaBinary => spec.dia_friendly(),
+            _ => true,
+        }
+    }
+}
+
+/// Builds the synthesized conversion for an experiment kind.
+pub fn build_conversion(kind: Fig2Kind) -> Conversion {
+    let opts = SynthesisOptions {
+        optimize: true,
+        binary_search: kind == Fig2Kind::CooToDiaBinary,
+    };
+    match kind {
+        Fig2Kind::CooToCsc => {
+            Conversion::new(&descriptors::scoo(), &descriptors::csc(), opts)
+        }
+        Fig2Kind::CsrToCsc => {
+            Conversion::new(&descriptors::csr(), &descriptors::csc(), opts)
+        }
+        Fig2Kind::CooToCsr => {
+            Conversion::new(&descriptors::scoo(), &descriptors::csr(), opts)
+        }
+        Fig2Kind::CooToDiaLinear | Fig2Kind::CooToDiaBinary => {
+            Conversion::new(&descriptors::scoo(), &descriptors::dia(), opts)
+        }
+    }
+    .expect("static descriptors synthesize")
+}
+
+fn baseline_routines(kind: Fig2Kind) -> Vec<sparse_baselines::VmRoutine> {
+    Library::ALL
+        .iter()
+        .map(|&lib| match kind {
+            Fig2Kind::CooToCsc => fig2::coo_to_csc(lib),
+            Fig2Kind::CsrToCsc => fig2::csr_to_csc(lib),
+            Fig2Kind::CooToCsr => fig2::coo_to_csr(lib),
+            Fig2Kind::CooToDiaLinear | Fig2Kind::CooToDiaBinary => fig2::coo_to_dia(lib),
+        })
+        .collect()
+}
+
+/// Runs one Figure-2 experiment over the (scaled) Table-3 suite.
+pub fn run_fig2(kind: Fig2Kind, scale: usize, reps: usize) -> Vec<Fig2Row> {
+    let conv = build_conversion(kind);
+    let routines = baseline_routines(kind);
+    let mut rows = Vec::new();
+    for spec in table3_suite() {
+        if !kind.applicable(&spec) {
+            continue;
+        }
+        let coo = spec.generate(scale);
+        let csr = matches!(kind, Fig2Kind::CsrToCsc).then(|| CsrMatrix::from_coo(&coo));
+
+        // Synthesized side: bind once, time execution only.
+        let mut env = RtEnv::new();
+        match (&csr, kind) {
+            (Some(c), Fig2Kind::CsrToCsc) => {
+                synth_run::bind_csr(&mut env, &conv.synth.src, c)
+            }
+            _ => synth_run::bind_coo(&mut env, &conv.synth.src, &coo),
+        }
+        let ours = time_min(reps, || {
+            conv.execute_env(&mut env).expect("synthesized conversion runs");
+        });
+
+        // Baseline side.
+        let mut baselines = [0.0f64; 3];
+        for (k, routine) in routines.iter().enumerate() {
+            let mut env = match (&csr, kind) {
+                (Some(c), Fig2Kind::CsrToCsc) => RtEnv::new()
+                    .with_sym("NR", c.nr as i64)
+                    .with_sym("NC", c.nc as i64)
+                    .with_sym("NNZ", c.nnz() as i64)
+                    .with_uf("rowptr", c.rowptr.clone())
+                    .with_uf("col2", c.col.clone())
+                    .with_data("Acsr", c.val.clone()),
+                _ => RtEnv::new()
+                    .with_sym("NR", coo.nr as i64)
+                    .with_sym("NC", coo.nc as i64)
+                    .with_sym("NNZ", coo.nnz() as i64)
+                    .with_uf("row", coo.row.clone())
+                    .with_uf("col", coo.col.clone())
+                    .with_data("Acoo", coo.val.clone()),
+            };
+            baselines[k] = time_min(reps, || {
+                routine.execute(&mut env).expect("baseline runs");
+            });
+        }
+        rows.push(Fig2Row {
+            matrix: spec.name.to_string(),
+            nnz: coo.nnz(),
+            ours,
+            baselines,
+        });
+    }
+    rows
+}
+
+/// Runs the Table-4 experiment over the (scaled) FROSTT twins.
+pub fn run_table4(scale: usize, reps: usize) -> Vec<Table4Row> {
+    let conv = Conversion::new(
+        &descriptors::scoo3(),
+        &descriptors::mcoo3(),
+        SynthesisOptions::default(),
+    )
+    .expect("tensor reorder synthesizes");
+    let mut rows = Vec::new();
+    for spec in table4_suite() {
+        let t = spec.generate(scale);
+        let hicoo = time_min(reps, || {
+            let out = hicoo_morton_sort3(&t, 7);
+            std::hint::black_box(out.nnz());
+        });
+        let mut env = RtEnv::new();
+        synth_run::bind_coo3(&mut env, &conv.synth.src, &t);
+        let ours = time_min(reps, || {
+            conv.execute_env(&mut env).expect("synthesized reorder runs");
+        });
+        rows.push(Table4Row {
+            tensor: spec.name.to_string(),
+            nnz: t.nnz(),
+            hicoo,
+            ours,
+        });
+    }
+    rows
+}
+
+/// Renders Table 5 of the paper — which descriptor features each tool
+/// supports — with this implementation's row derived from the descriptor
+/// API itself.
+pub fn table5() -> String {
+    let mut s = String::new();
+    s.push_str("Table 5: format description support\n");
+    s.push_str(&format!(
+        "{:<22}{:>10}{:>10}{:>24}\n",
+        "Tool", "Mapping", "Re-order", "Universal Quantifiers"
+    ));
+    for (tool, m, r, u) in [
+        ("TACO", true, false, false),
+        ("Nandy et al.", false, true, true),
+        ("Venkat et al.", false, true, true),
+    ] {
+        s.push_str(&format!(
+            "{:<22}{:>10}{:>10}{:>24}\n",
+            tool,
+            if m { "yes" } else { "no" },
+            if r { "yes" } else { "no" },
+            if u { "yes" } else { "no" }
+        ));
+    }
+    // This work: verify each capability against the live descriptor API.
+    let mapping = !descriptors::csr().sparse_to_dense.conjunctions().is_empty();
+    let reorder = descriptors::mcoo().order.is_some();
+    let quantifiers = !descriptors::csr().quantifier_texts().is_empty();
+    s.push_str(&format!(
+        "{:<22}{:>10}{:>10}{:>24}\n",
+        "This work",
+        if mapping { "yes" } else { "no" },
+        if reorder { "yes" } else { "no" },
+        if quantifiers { "yes" } else { "no" }
+    ));
+    s
+}
+
+/// A small sorted COO fixture for bench smoke tests.
+pub fn small_fixture() -> CooMatrix {
+    let spec = &table3_suite()[1]; // jnlbrng1 (stencil5)
+    spec.generate(512)
+}
+
+/// A small sorted COO3 fixture.
+pub fn small_tensor_fixture() -> Coo3Tensor {
+    table4_suite()[0].generate(8192)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!(geomean(std::iter::empty::<f64>()).is_nan());
+    }
+
+    #[test]
+    fn fig2c_runs_and_ours_wins_on_sorted_coo() {
+        let rows = run_fig2(Fig2Kind::CooToCsr, 512, 2);
+        assert_eq!(rows.len(), 21);
+        // Shape check, not absolute numbers: the synthesized single-pass
+        // code beats the sorting TACO model on geomean.
+        let vs_taco = geomean_speedup(&rows, 0);
+        assert!(vs_taco > 1.0, "expected a win over TACO, got {vs_taco:.2}x");
+    }
+
+    #[test]
+    fn fig2d_restricts_to_dia_friendly() {
+        let rows = run_fig2(Fig2Kind::CooToDiaLinear, 1024, 1);
+        assert!(rows.len() < 21 && !rows.is_empty());
+        assert!(rows.iter().any(|r| r.matrix == "ecology1"));
+        assert!(rows.iter().all(|r| r.matrix != "webbase1M"));
+    }
+
+    #[test]
+    fn fig3_binary_beats_linear() {
+        let lin = run_fig2(Fig2Kind::CooToDiaLinear, 512, 2);
+        let bin = run_fig2(Fig2Kind::CooToDiaBinary, 512, 2);
+        let lin_g = geomean(lin.iter().map(|r| r.ours));
+        let bin_g = geomean(bin.iter().map(|r| r.ours));
+        assert!(bin_g < lin_g, "binary {bin_g} vs linear {lin_g}");
+    }
+
+    #[test]
+    fn table4_runs() {
+        let rows = run_table4(16384, 1);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.ours > 0.0 && r.hicoo > 0.0));
+    }
+
+    #[test]
+    fn table5_matches_paper_capabilities() {
+        let t = table5();
+        assert!(t.contains("This work"));
+        let ours_line = t.lines().find(|l| l.starts_with("This work")).unwrap();
+        assert_eq!(ours_line.matches("yes").count(), 3);
+        let taco_line = t.lines().find(|l| l.starts_with("TACO")).unwrap();
+        assert_eq!(taco_line.matches("yes").count(), 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! The C implementation of the `OrderedList` runtime abstraction,
+//! embedded as a string so emitted inspectors form complete, compilable
+//! translation units (see [`crate::cemit`]'s C99 dialect).
+//!
+//! The paper introduces `OrderedList` as the runtime class backing
+//! reordering universal quantifiers; this is its portable C99 rendering:
+//! insert-then-sort with rank retrieval by binary search over the sorted
+//! keys (keys are unique for the formats in scope).
+
+/// C99 `OrderedList` implementation: `ol_init`, `ol_insert`,
+/// `ol_finalize`, `ol_rank`, `ol_size`, `ol_key`, plus the LEX and MORTON
+/// comparators. User-defined comparators are `extern` functions with the
+/// `ol_cmp_fn` signature, named after the universal quantifier's
+/// function.
+pub const C_ORDERED_LIST_RUNTIME: &str = r#"
+/* ---- OrderedList runtime (see paper section 3.2) ------------------- */
+typedef int (*ol_cmp_fn)(const int *a, const int *b, int width);
+
+static int ol_cmp_lex(const int *a, const int *b, int width) {
+    for (int d = 0; d < width; d++) {
+        if (a[d] != b[d]) return a[d] < b[d] ? -1 : 1;
+    }
+    return 0;
+}
+
+static int ol_less_msb(unsigned x, unsigned y) { return x < y && x < (x ^ y); }
+
+static int ol_cmp_morton(const int *a, const int *b, int width) {
+    int top = 0;
+    unsigned top_xor = 0;
+    for (int d = 0; d < width; d++) {
+        unsigned x = (unsigned)a[d] ^ (unsigned)b[d];
+        if (x != 0 && !ol_less_msb(x, top_xor)) { top = d; top_xor = x; }
+    }
+    if (top_xor == 0) return 0;
+    return a[top] < b[top] ? -1 : 1;
+}
+
+typedef struct {
+    int width;
+    int unique;
+    ol_cmp_fn cmp;        /* NULL = insertion order */
+    long n, cap;
+    int *rows;            /* n * width */
+    int finalized;
+} OrderedList;
+
+static void ol_init(OrderedList *l, int width, ol_cmp_fn cmp, int unique) {
+    l->width = width; l->unique = unique; l->cmp = cmp;
+    l->n = 0; l->cap = 0; l->rows = 0; l->finalized = 0;
+}
+
+static void ol_insert(OrderedList *l, int width, const int *key) {
+    if (l->n == l->cap) {
+        l->cap = l->cap ? l->cap * 2 : 64;
+        l->rows = (int *)realloc(l->rows, (size_t)l->cap * width * sizeof(int));
+    }
+    memcpy(l->rows + l->n * width, key, (size_t)width * sizeof(int));
+    l->n++;
+}
+
+static OrderedList *ol_sort_ctx;
+static int ol_qsort_cmp(const void *pa, const void *pb) {
+    return ol_sort_ctx->cmp((const int *)pa, (const int *)pb, ol_sort_ctx->width);
+}
+
+static void ol_finalize(OrderedList *l) {
+    if (l->finalized) return;
+    if (l->cmp) {
+        ol_sort_ctx = l;
+        qsort(l->rows, (size_t)l->n, (size_t)l->width * sizeof(int), ol_qsort_cmp);
+    }
+    if (l->unique && l->n > 1) {
+        long w = 1;
+        for (long r = 1; r < l->n; r++) {
+            if (memcmp(l->rows + r * l->width, l->rows + (w - 1) * l->width,
+                       (size_t)l->width * sizeof(int)) != 0) {
+                memmove(l->rows + w * l->width, l->rows + r * l->width,
+                        (size_t)l->width * sizeof(int));
+                w++;
+            }
+        }
+        l->n = w;
+    }
+    l->finalized = 1;
+}
+
+static long ol_size(const OrderedList *l) { return l->n; }
+
+static int ol_key(const OrderedList *l, long pos, int dim) {
+    return l->rows[pos * l->width + dim];
+}
+
+/* Rank by binary search; keys are unique in the formats in scope. With
+ * an insertion-order list (cmp == NULL) this falls back to linear scan. */
+static long ol_rank(const OrderedList *l, int width, const int *key) {
+    if (!l->cmp) {
+        for (long r = 0; r < l->n; r++) {
+            if (memcmp(l->rows + r * width, key, (size_t)width * sizeof(int)) == 0)
+                return r;
+        }
+        return -1;
+    }
+    long lo = 0, hi = l->n;
+    while (lo < hi) {
+        long mid = lo + (hi - lo) / 2;
+        if (l->cmp(l->rows + mid * width, key, width) < 0) lo = mid + 1; else hi = mid;
+    }
+    return lo;
+}
+/* --------------------------------------------------------------------- */
+"#;

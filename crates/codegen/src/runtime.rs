@@ -1,0 +1,473 @@
+//! Runtime support for generated inspectors: the environment binding
+//! uninterpreted functions to index arrays, and the `OrderedList`
+//! permutation abstraction of §3.2 of the paper.
+//!
+//! The paper's synthesized code for COO→MCOO is:
+//!
+//! ```c
+//! P = new OrderedList(2, 1, MORTON(), "<");
+//! for (int c0 = 0; c0 < NNZ; c0++) {
+//!     P.insert(row1(c0), col1(c0));
+//! }
+//! ```
+//!
+//! [`OrderedList`] implements that abstraction: keys are inserted in source
+//! order, `finalize` sorts them with the declared comparator (stably, so
+//! insertion order breaks ties), and `rank` retrieves the re-ordered
+//! position of a nonzero — the permutation `P`. The paper notes that rank
+//! retrieval "incurs overhead"; this implementation reproduces that cost
+//! profile with a hash-map rank index.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::rc::Rc;
+
+use crate::morton::morton_cmp;
+
+/// A fast non-cryptographic hasher (Fx-style multiply-xor) for the rank
+/// index. Rank retrieval is on the inspector's per-nonzero hot path; the
+/// default SipHash would dominate the conversion cost and distort the
+/// comparison the paper makes (its permutation uses plain array
+/// machinery).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash = (self.hash.rotate_left(5) ^ b as u64).wrapping_mul(FX_SEED);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(FX_SEED);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+}
+
+type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// Maximum key width supported by [`OrderedList`].
+pub const MAX_KEY_WIDTH: usize = 4;
+
+/// Fixed-width key buffer used by the rank index.
+type KeyBuf = [i64; MAX_KEY_WIDTH];
+
+fn key_buf(key: &[i64]) -> KeyBuf {
+    let mut buf = [i64::MIN; MAX_KEY_WIDTH];
+    buf[..key.len()].copy_from_slice(key);
+    buf
+}
+
+/// A shared user-defined comparison function over integer key tuples.
+pub type CmpFn = Rc<dyn Fn(&[i64], &[i64]) -> Ordering>;
+
+/// Comparison semantics of an [`OrderedList`].
+#[derive(Clone)]
+pub enum ListOrder {
+    /// Keep insertion order (no reordering quantifier on the destination).
+    Insertion,
+    /// Lexicographic over the key tuple.
+    Lexicographic,
+    /// Morton / Z-order over the key tuple.
+    Morton,
+    /// User-defined comparison function (the paper requires full
+    /// definitions for functions appearing only in universal quantifiers).
+    Custom(CmpFn),
+}
+
+impl fmt::Debug for ListOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ListOrder::Insertion => write!(f, "Insertion"),
+            ListOrder::Lexicographic => write!(f, "Lexicographic"),
+            ListOrder::Morton => write!(f, "Morton"),
+            ListOrder::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+impl ListOrder {
+    fn cmp(&self, a: &[i64], b: &[i64]) -> Ordering {
+        match self {
+            ListOrder::Insertion => Ordering::Equal,
+            ListOrder::Lexicographic => a.cmp(b),
+            ListOrder::Morton => morton_cmp(a, b),
+            ListOrder::Custom(f) => f(a, b),
+        }
+    }
+}
+
+/// Errors raised by [`OrderedList`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListError {
+    /// Key width differs from the declared width.
+    WidthMismatch {
+        /// Declared width.
+        expect: usize,
+        /// Provided width.
+        got: usize,
+    },
+    /// `rank`/`key_col` called before `finalize`.
+    NotFinalized,
+    /// `insert` called after `finalize`.
+    AlreadyFinalized,
+    /// `rank` key was never inserted.
+    UnknownKey(Vec<i64>),
+    /// Column index out of range in `key_col`.
+    BadColumn(usize),
+}
+
+impl fmt::Display for ListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ListError::WidthMismatch { expect, got } => {
+                write!(f, "key width mismatch: expected {expect}, got {got}")
+            }
+            ListError::NotFinalized => write!(f, "ordered list not finalized"),
+            ListError::AlreadyFinalized => write!(f, "ordered list already finalized"),
+            ListError::UnknownKey(k) => write!(f, "key {k:?} not present"),
+            ListError::BadColumn(c) => write!(f, "key column {c} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ListError {}
+
+/// The permutation abstraction: an insert-then-sort list of integer keys
+/// with rank retrieval.
+#[derive(Debug, Clone)]
+pub struct OrderedList {
+    width: usize,
+    unique: bool,
+    order: ListOrder,
+    rows: Vec<i64>,
+    finalized: bool,
+    ranks: HashMap<KeyBuf, i64, FxBuild>,
+}
+
+impl OrderedList {
+    /// Creates a list of `width`-column keys ordered by `order`. With
+    /// `unique`, duplicate keys collapse at finalize (used to build DIA's
+    /// `off` array, where many nonzeros share one diagonal).
+    ///
+    /// # Panics
+    /// Panics when `width` is zero or exceeds [`MAX_KEY_WIDTH`].
+    pub fn new(width: usize, order: ListOrder, unique: bool) -> Self {
+        assert!(
+            (1..=MAX_KEY_WIDTH).contains(&width),
+            "key width must be in 1..={MAX_KEY_WIDTH}"
+        );
+        OrderedList {
+            width,
+            unique,
+            order,
+            rows: Vec::new(),
+            finalized: false,
+            ranks: HashMap::default(),
+        }
+    }
+
+    /// Declared key width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Returns `true` once [`OrderedList::finalize`] has run.
+    pub fn is_finalized(&self) -> bool {
+        self.finalized
+    }
+
+    /// Inserts a key in source order.
+    ///
+    /// # Errors
+    /// Fails when the width differs from the declaration or the list is
+    /// already finalized.
+    pub fn insert(&mut self, key: &[i64]) -> Result<(), ListError> {
+        if self.finalized {
+            return Err(ListError::AlreadyFinalized);
+        }
+        if key.len() != self.width {
+            return Err(ListError::WidthMismatch { expect: self.width, got: key.len() });
+        }
+        self.rows.extend_from_slice(key);
+        Ok(())
+    }
+
+    /// Sorts the keys by the declared comparator (stable, so insertion
+    /// order breaks ties), optionally deduplicates, and builds the rank
+    /// index. Idempotent once called.
+    pub fn finalize(&mut self) {
+        if self.finalized {
+            return;
+        }
+        let w = self.width;
+        let n = self.rows.len() / w;
+        let mut idx: Vec<usize> = (0..n).collect();
+        match &self.order {
+            ListOrder::Insertion => {}
+            ListOrder::Morton => {
+                // Precompute interleaved keys when they fit in 128 bits —
+                // the sort then compares plain integers instead of
+                // invoking the bitwise comparator per comparison.
+                let max = self.rows.iter().copied().max().unwrap_or(0).max(0);
+                let bits = crate::morton::bits_for_extent(max as usize + 1);
+                if (w as u32) * bits <= 128 {
+                    let mut keyed: Vec<(u128, u32)> = idx
+                        .iter()
+                        .map(|&r| {
+                            (
+                                crate::morton::morton_encode(
+                                    &self.rows[r * w..r * w + w],
+                                    bits,
+                                ),
+                                r as u32,
+                            )
+                        })
+                        .collect();
+                    keyed.sort_by_key(|&(code, r)| (code, r));
+                    idx = keyed.into_iter().map(|(_, r)| r as usize).collect();
+                } else {
+                    idx.sort_by(|&a, &b| {
+                        morton_cmp(&self.rows[a * w..a * w + w], &self.rows[b * w..b * w + w])
+                    });
+                }
+            }
+            order => {
+                idx.sort_by(|&a, &b| {
+                    order.cmp(&self.rows[a * w..a * w + w], &self.rows[b * w..b * w + w])
+                });
+            }
+        }
+        let mut sorted = Vec::with_capacity(self.rows.len());
+        let mut ranks: HashMap<KeyBuf, i64, FxBuild> =
+            HashMap::with_capacity_and_hasher(n, FxBuild::default());
+        let mut rank: i64 = 0;
+        for &r in &idx {
+            let row = &self.rows[r * w..r * w + w];
+            let buf = key_buf(row);
+            if self.unique {
+                if let std::collections::hash_map::Entry::Vacant(e) = ranks.entry(buf) {
+                    e.insert(rank);
+                    sorted.extend_from_slice(row);
+                    rank += 1;
+                }
+            } else {
+                // First occurrence wins; duplicates (which sorted formats
+                // do not produce) keep the earliest rank.
+                ranks.entry(buf).or_insert(rank);
+                sorted.extend_from_slice(row);
+                rank += 1;
+            }
+        }
+        self.rows = sorted;
+        self.ranks = ranks;
+        self.finalized = true;
+    }
+
+    /// Number of (unique) keys; before finalize, the raw insertion count.
+    pub fn len(&self) -> usize {
+        self.rows.len() / self.width
+    }
+
+    /// Returns `true` when no keys are present.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Retrieves the re-ordered position of `key` — the permutation
+    /// `P(key)`.
+    ///
+    /// # Errors
+    /// Fails before finalize or for unknown keys.
+    pub fn rank(&self, key: &[i64]) -> Result<i64, ListError> {
+        if !self.finalized {
+            return Err(ListError::NotFinalized);
+        }
+        if key.len() != self.width {
+            return Err(ListError::WidthMismatch { expect: self.width, got: key.len() });
+        }
+        self.ranks
+            .get(&key_buf(key))
+            .copied()
+            .ok_or_else(|| ListError::UnknownKey(key.to_vec()))
+    }
+
+    /// Value of key column `dim` at sorted position `pos`.
+    ///
+    /// # Errors
+    /// Fails before finalize or for a column out of range.
+    pub fn key_col(&self, pos: usize, dim: usize) -> Result<i64, ListError> {
+        if !self.finalized {
+            return Err(ListError::NotFinalized);
+        }
+        if dim >= self.width {
+            return Err(ListError::BadColumn(dim));
+        }
+        Ok(self.rows[pos * self.width + dim])
+    }
+}
+
+/// The runtime environment a generated inspector executes against:
+/// symbolic constants, integer index arrays (the uninterpreted functions),
+/// f64 data spaces, and ordered lists.
+#[derive(Debug, Default)]
+pub struct RtEnv {
+    /// Symbolic constants such as `NR`, `NC`, `NNZ`; inspectors may add
+    /// more (e.g. `ND`) during execution.
+    pub syms: BTreeMap<String, i64>,
+    /// Index arrays keyed by UF name.
+    pub ufs: BTreeMap<String, Vec<i64>>,
+    /// Data arrays keyed by data-space name.
+    pub data: BTreeMap<String, Vec<f64>>,
+    /// Ordered lists keyed by name; must be declared (inserted here)
+    /// before executing programs that reference them.
+    pub lists: BTreeMap<String, OrderedList>,
+}
+
+impl RtEnv {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a symbolic constant (builder style).
+    pub fn with_sym(mut self, name: impl Into<String>, v: i64) -> Self {
+        self.syms.insert(name.into(), v);
+        self
+    }
+
+    /// Binds an index array (builder style).
+    pub fn with_uf(mut self, name: impl Into<String>, v: Vec<i64>) -> Self {
+        self.ufs.insert(name.into(), v);
+        self
+    }
+
+    /// Binds a data array (builder style).
+    pub fn with_data(mut self, name: impl Into<String>, v: Vec<f64>) -> Self {
+        self.data.insert(name.into(), v);
+        self
+    }
+
+    /// Declares an ordered list (builder style).
+    pub fn with_list(mut self, name: impl Into<String>, l: OrderedList) -> Self {
+        self.lists.insert(name.into(), l);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insertion_order_list_keeps_order() {
+        let mut l = OrderedList::new(2, ListOrder::Insertion, false);
+        l.insert(&[5, 1]).unwrap();
+        l.insert(&[2, 9]).unwrap();
+        l.finalize();
+        assert_eq!(l.rank(&[5, 1]).unwrap(), 0);
+        assert_eq!(l.rank(&[2, 9]).unwrap(), 1);
+    }
+
+    #[test]
+    fn lexicographic_sort_and_rank() {
+        let mut l = OrderedList::new(2, ListOrder::Lexicographic, false);
+        for k in [[2i64, 3], [0, 1], [2, 0], [1, 7]] {
+            l.insert(&k).unwrap();
+        }
+        l.finalize();
+        assert_eq!(l.rank(&[0, 1]).unwrap(), 0);
+        assert_eq!(l.rank(&[1, 7]).unwrap(), 1);
+        assert_eq!(l.rank(&[2, 0]).unwrap(), 2);
+        assert_eq!(l.rank(&[2, 3]).unwrap(), 3);
+        assert_eq!(l.len(), 4);
+    }
+
+    #[test]
+    fn unique_list_dedups_like_dia_offsets() {
+        let mut l = OrderedList::new(1, ListOrder::Lexicographic, true);
+        for k in [3i64, -1, 3, 0, -1, 3] {
+            l.insert(&[k]).unwrap();
+        }
+        l.finalize();
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.key_col(0, 0).unwrap(), -1);
+        assert_eq!(l.key_col(1, 0).unwrap(), 0);
+        assert_eq!(l.key_col(2, 0).unwrap(), 3);
+        assert_eq!(l.rank(&[-1]).unwrap(), 0);
+        assert_eq!(l.rank(&[3]).unwrap(), 2);
+    }
+
+    #[test]
+    fn morton_list_orders_by_z_curve() {
+        let mut l = OrderedList::new(2, ListOrder::Morton, false);
+        // Z-order on 2x2: (0,0) (1,0) (0,1) (1,1).
+        for k in [[1i64, 1], [0, 1], [1, 0], [0, 0]] {
+            l.insert(&k).unwrap();
+        }
+        l.finalize();
+        assert_eq!(l.rank(&[0, 0]).unwrap(), 0);
+        assert_eq!(l.rank(&[1, 0]).unwrap(), 1);
+        assert_eq!(l.rank(&[0, 1]).unwrap(), 2);
+        assert_eq!(l.rank(&[1, 1]).unwrap(), 3);
+    }
+
+    #[test]
+    fn custom_comparator() {
+        // Reverse lexicographic.
+        let cmp: CmpFn = Rc::new(|a, b| b.cmp(a));
+        let mut l = OrderedList::new(1, ListOrder::Custom(cmp), false);
+        for k in [1i64, 3, 2] {
+            l.insert(&[k]).unwrap();
+        }
+        l.finalize();
+        assert_eq!(l.rank(&[3]).unwrap(), 0);
+        assert_eq!(l.rank(&[1]).unwrap(), 2);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut l = OrderedList::new(2, ListOrder::Lexicographic, false);
+        assert_eq!(
+            l.insert(&[1]),
+            Err(ListError::WidthMismatch { expect: 2, got: 1 })
+        );
+        assert_eq!(l.rank(&[1, 2]), Err(ListError::NotFinalized));
+        l.insert(&[1, 2]).unwrap();
+        l.finalize();
+        assert_eq!(l.insert(&[3, 4]), Err(ListError::AlreadyFinalized));
+        assert_eq!(l.rank(&[9, 9]), Err(ListError::UnknownKey(vec![9, 9])));
+        assert_eq!(l.key_col(0, 5), Err(ListError::BadColumn(5)));
+    }
+
+    #[test]
+    fn env_builders() {
+        let env = RtEnv::new()
+            .with_sym("NNZ", 4)
+            .with_uf("row1", vec![0, 0, 1, 1])
+            .with_data("A", vec![1.0, 2.0, 3.0, 4.0])
+            .with_list("P", OrderedList::new(2, ListOrder::Lexicographic, false));
+        assert_eq!(env.syms["NNZ"], 4);
+        assert_eq!(env.ufs["row1"].len(), 4);
+        assert_eq!(env.data["A"].len(), 4);
+        assert!(env.lists.contains_key("P"));
+    }
+}

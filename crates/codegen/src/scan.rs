@@ -1,0 +1,458 @@
+//! Polyhedra scanning: lowering an iteration [`Set`] to a loop nest.
+//!
+//! This is the CodeGen+ role in the paper's toolchain, restricted to the
+//! shapes sparse format descriptors produce:
+//!
+//! * a tuple variable *defined by an equality* over earlier variables
+//!   (e.g. `j = col(k)`) lowers to a `let` binding;
+//! * a variable with unit-coefficient lower/upper bounds over earlier
+//!   variables (e.g. `rowptr(i) <= k < rowptr(i+1)`) lowers to a `for`
+//!   loop, folding multiple bounds with max/min;
+//! * every remaining constraint (e.g. the DIA diagonal-membership
+//!   equation `off(d) + i = j`, where `d` cannot be solved) lowers to a
+//!   guard `if` at the innermost point — which is exactly the linear
+//!   search the paper describes for COO→DIA copy code.
+//!
+//! Unions of conjunctions lower to a sequence of independent nests.
+
+use std::fmt;
+
+use spf_ir::constraint::Constraint;
+use spf_ir::expr::{Atom, LinExpr, VarId};
+use spf_ir::formula::{Conjunction, Set};
+
+use crate::ast::{CmpOp, Cond, Expr, Slot, SlotAlloc, Stmt};
+
+/// Errors raised while lowering a set to loops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanError {
+    /// A tuple variable has neither a defining equality nor usable bounds.
+    NoBounds {
+        /// The variable's name.
+        var: String,
+    },
+    /// The conjunction still has existential variables after
+    /// simplification; iteration spaces must be existential-free.
+    LeftoverExistential {
+        /// The existential's name.
+        var: String,
+    },
+}
+
+impl fmt::Display for ScanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanError::NoBounds { var } => {
+                write!(f, "tuple variable `{var}` has no usable bounds or definition")
+            }
+            ScanError::LeftoverExistential { var } => {
+                write!(f, "iteration space still has existential `{var}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+/// The loop variables of one lowered conjunction, in tuple order.
+#[derive(Debug, Clone)]
+pub struct LoweredVars {
+    /// `(name, slot)` per tuple position.
+    pub vars: Vec<(String, Slot)>,
+}
+
+impl LoweredVars {
+    /// Expression reading tuple position `p`.
+    pub fn expr(&self, p: usize) -> Expr {
+        let (name, slot) = &self.vars[p];
+        Expr::Var(name.clone(), *slot)
+    }
+
+    /// Slot of tuple position `p`.
+    pub fn slot(&self, p: usize) -> Slot {
+        self.vars[p].1
+    }
+}
+
+/// Converts a linear expression to an AST expression using `vmap` for
+/// variables.
+pub fn lin_to_expr(
+    e: &LinExpr,
+    vmap: &dyn Fn(VarId) -> Expr,
+) -> Result<Expr, ScanError> {
+    let mut acc: Option<Expr> = if e.constant != 0 {
+        Some(Expr::Const(e.constant))
+    } else {
+        None
+    };
+    for (c, atom) in &e.terms {
+        let base = match atom {
+            Atom::Var(v) => vmap(*v),
+            Atom::Sym(s) => Expr::Sym(s.clone()),
+            Atom::Prod(fs) => {
+                let mut acc: Option<Expr> = None;
+                for a in fs {
+                    let fe = lin_to_expr(&spf_ir::LinExpr::term(1, a.clone()), vmap)?;
+                    acc = Some(match acc {
+                        None => fe,
+                        Some(x) => Expr::mul(x, fe),
+                    });
+                }
+                acc.unwrap_or(Expr::Const(1))
+            }
+            Atom::Uf(u) => {
+                if u.args.len() == 1 {
+                    Expr::uf_read(u.name.clone(), lin_to_expr(&u.args[0], vmap)?)
+                } else {
+                    // By convention a multi-argument UF is a rank lookup in
+                    // an OrderedList — the permutation `P(i, j)` of §3.2.
+                    Expr::ListRank {
+                        list: u.name.clone(),
+                        args: u
+                            .args
+                            .iter()
+                            .map(|a| lin_to_expr(a, vmap))
+                            .collect::<Result<Vec<_>, _>>()?,
+                    }
+                }
+            }
+        };
+        let term = match *c {
+            1 => base,
+            -1 => {
+                // Handled below through Sub when accumulating.
+                base
+            }
+            c => Expr::mul(Expr::Const(c.abs()), base),
+        };
+        acc = Some(match (acc, *c < 0) {
+            (None, false) => term,
+            (None, true) => Expr::sub(Expr::Const(0), term),
+            (Some(a), false) => Expr::add(a, term),
+            (Some(a), true) => Expr::sub(a, term),
+        });
+    }
+    Ok(acc.unwrap_or(Expr::Const(0)))
+}
+
+/// Returns the variables mentioned by `e` (top level and inside UF args).
+fn vars_of(e: &LinExpr) -> Vec<VarId> {
+    let mut out = Vec::new();
+    e.collect_vars(&mut out);
+    out.sort();
+    out.dedup();
+    out
+}
+
+struct ConjScan<'a> {
+    conj: &'a Conjunction,
+    used: Vec<bool>,
+    lowered: LoweredVars,
+}
+
+impl<'a> ConjScan<'a> {
+    /// Finds an equality defining tuple var `p` strictly from variables
+    /// `< p`: returns the solved expression.
+    fn defining_equality(&mut self, p: u32) -> Result<Option<LinExpr>, ScanError> {
+        let v = VarId(p);
+        for (idx, c) in self.conj.constraints.iter().enumerate() {
+            if self.used[idx] {
+                continue;
+            }
+            let Constraint::Eq(e) = c else { continue };
+            let coeff = e.coeff_of_var(v);
+            // Non-unit coefficients cannot define the variable exactly;
+            // the constraint stays behind as a guard.
+            if coeff.abs() != 1 || e.var_inside_uf(v) {
+                continue;
+            }
+            let mut rest = e.clone();
+            rest.terms.retain(|(_, a)| !matches!(a, Atom::Var(w) if *w == v));
+            let solved = rest.scaled(-coeff);
+            if vars_of(&solved).iter().all(|w| w.0 < p) {
+                self.used[idx] = true;
+                return Ok(Some(solved));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Collects loop bounds for tuple var `p` from constraints over
+    /// earlier variables. Returns `(lowers, uppers_exclusive)`.
+    fn bounds(&mut self, p: u32) -> Result<(Vec<LinExpr>, Vec<LinExpr>), ScanError> {
+        let v = VarId(p);
+        let mut lowers = Vec::new();
+        let mut uppers = Vec::new();
+        for (idx, c) in self.conj.constraints.iter().enumerate() {
+            if self.used[idx] {
+                continue;
+            }
+            let Constraint::Geq(e) = c else { continue };
+            let coeff = e.coeff_of_var(v);
+            // Non-unit coefficients do not make exact integer loop
+            // bounds; such constraints become guards instead.
+            if coeff.abs() != 1 || e.var_inside_uf(v) {
+                continue;
+            }
+            let mut rest = e.clone();
+            rest.terms.retain(|(_, a)| !matches!(a, Atom::Var(w) if *w == v));
+            if !vars_of(&rest).iter().all(|w| w.0 < p) {
+                continue; // involves later vars; stays as a guard
+            }
+            if coeff > 0 {
+                // v + rest >= 0  =>  v >= -rest
+                lowers.push(rest.scaled(-1));
+                self.used[idx] = true;
+            } else {
+                // -v + rest >= 0  =>  v <= rest  =>  v < rest + 1
+                uppers.push(rest.add(&LinExpr::constant(1)));
+                self.used[idx] = true;
+            }
+        }
+        Ok((lowers, uppers))
+    }
+}
+
+/// Lowers `set` to a statement list, invoking `body` once per conjunction
+/// to produce the innermost statements.
+///
+/// # Errors
+/// Returns a [`ScanError`] when the set's shape is outside the supported
+/// fragment (see module docs).
+pub fn lower_set(
+    set: &Set,
+    slots: &mut SlotAlloc,
+    mut body: impl FnMut(&LoweredVars) -> Vec<Stmt>,
+) -> Result<Vec<Stmt>, ScanError> {
+    let mut out = Vec::new();
+    for conj in set.conjunctions() {
+        if let Some(name) = conj.exists().first() {
+            return Err(ScanError::LeftoverExistential { var: name.clone() });
+        }
+        let names: Vec<String> = set.tuple().to_vec();
+        let mut scan = ConjScan {
+            conj,
+            used: vec![false; conj.constraints.len()],
+            lowered: LoweredVars { vars: Vec::new() },
+        };
+        // Allocate slots for every tuple variable up front so the variable
+        // map is total.
+        for name in &names {
+            let slot = slots.alloc(name.clone());
+            scan.lowered.vars.push((name.clone(), slot));
+        }
+        let lowered = scan.lowered.clone();
+        let vmap = |v: VarId| -> Expr {
+            let (name, slot) = &lowered.vars[v.index()];
+            Expr::Var(name.clone(), *slot)
+        };
+
+        // Plan each tuple position: Let or For.
+        enum Level {
+            Let(Expr),
+            For { lo: Expr, hi: Expr },
+        }
+        let mut levels: Vec<Level> = Vec::new();
+        for p in 0..set.arity() {
+            if let Some(def) = scan.defining_equality(p)? {
+                levels.push(Level::Let(lin_to_expr(&def, &vmap)?));
+                continue;
+            }
+            let (lowers, uppers) = scan.bounds(p)?;
+            if lowers.is_empty() || uppers.is_empty() {
+                return Err(ScanError::NoBounds { var: names[p as usize].clone() });
+            }
+            let lo = lowers
+                .iter()
+                .map(|e| lin_to_expr(e, &vmap))
+                .collect::<Result<Vec<_>, _>>()?
+                .into_iter()
+                .reduce(Expr::max)
+                .expect("non-empty");
+            let hi = uppers
+                .iter()
+                .map(|e| lin_to_expr(e, &vmap))
+                .collect::<Result<Vec<_>, _>>()?
+                .into_iter()
+                .reduce(Expr::min)
+                .expect("non-empty");
+            levels.push(Level::For { lo, hi });
+        }
+
+        // Remaining constraints become guards, each placed as soon as its
+        // last-mentioned tuple variable is bound (a guard evaluated any
+        // later could observe partially-defined state — e.g. a rank
+        // lookup on an ELL padding slot — and any earlier would read
+        // unbound variables).
+        let arity = set.arity() as usize;
+        let mut guards_at: Vec<Vec<(Expr, CmpOp, Expr)>> = vec![Vec::new(); arity];
+        let mut free_guards: Vec<(Expr, CmpOp, Expr)> = Vec::new();
+        for (idx, c) in conj.constraints.iter().enumerate() {
+            if scan.used[idx] {
+                continue;
+            }
+            let (op, e) = match c {
+                Constraint::Eq(e) => (CmpOp::Eq, e),
+                Constraint::Geq(e) => (CmpOp::Ge, e),
+            };
+            let clause = (lin_to_expr(e, &vmap)?, op, Expr::Const(0));
+            match vars_of(e).into_iter().map(|v| v.index()).max() {
+                Some(p) => guards_at[p].push(clause),
+                None => free_guards.push(clause),
+            }
+        }
+
+        // Assemble inside-out: at each tuple position, first wrap the
+        // guards that become evaluable there, then the binding itself.
+        let mut inner: Vec<Stmt> = body(&lowered);
+        for (p, level) in levels.into_iter().enumerate().rev() {
+            let clauses = std::mem::take(&mut guards_at[p]);
+            if !clauses.is_empty() {
+                inner = vec![Stmt::If { cond: Cond { clauses }, body: inner }];
+            }
+            let (name, slot) = lowered.vars[p].clone();
+            match level {
+                Level::Let(value) => {
+                    inner.insert(0, Stmt::Let { var: name, slot, value });
+                }
+                Level::For { lo, hi } => {
+                    inner = vec![Stmt::For { var: name, slot, lo, hi, body: inner }];
+                }
+            }
+        }
+        if !free_guards.is_empty() {
+            inner = vec![Stmt::If { cond: Cond { clauses: free_guards }, body: inner }];
+        }
+        out.extend(inner);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{compile, execute};
+    use crate::runtime::RtEnv;
+    use spf_ir::parse_set;
+
+    /// Lower and execute, recording visited tuples into `visit` arrays.
+    fn run_and_collect(
+        src: &str,
+        env: &mut RtEnv,
+        record: usize,
+    ) -> Vec<Vec<i64>> {
+        let mut set = parse_set(src).unwrap();
+        set.simplify();
+        let mut slots = SlotAlloc::new();
+        let counter = Expr::uf_read("cnt", Expr::Const(0));
+        let stmts = lower_set(&set, &mut slots, |vars| {
+            let mut body = Vec::new();
+            for p in 0..record {
+                body.push(Stmt::UfWrite {
+                    uf: format!("visit{p}"),
+                    idx: counter.clone(),
+                    value: vars.expr(p),
+                });
+            }
+            body.push(Stmt::UfWrite {
+                uf: "cnt".into(),
+                idx: Expr::Const(0),
+                value: Expr::add(counter.clone(), Expr::Const(1)),
+            });
+            body
+        })
+        .unwrap();
+        let cap = 4096;
+        env.ufs.insert("cnt".into(), vec![0]);
+        for p in 0..record {
+            env.ufs.insert(format!("visit{p}"), vec![-1; cap]);
+        }
+        let prog = compile(&stmts, &slots);
+        execute(&prog, env).unwrap();
+        let n = env.ufs["cnt"][0] as usize;
+        (0..record)
+            .map(|p| env.ufs[&format!("visit{p}")][..n].to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn rectangle_scans_row_major() {
+        let mut env = RtEnv::new().with_sym("N", 2).with_sym("M", 3);
+        let v = run_and_collect("{ [i, j] : 0 <= i < N && 0 <= j < M }", &mut env, 2);
+        assert_eq!(v[0], vec![0, 0, 0, 1, 1, 1]);
+        assert_eq!(v[1], vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn csr_space_scans_with_uf_bounds_and_let() {
+        // 2x? CSR with rows [0..2) and [2..3).
+        let mut env = RtEnv::new()
+            .with_sym("N", 2)
+            .with_uf("rowptr", vec![0, 2, 3])
+            .with_uf("col", vec![4, 7, 1]);
+        let v = run_and_collect(
+            "{ [i, k, j] : 0 <= i < N && rowptr(i) <= k < rowptr(i + 1) && j = col(k) }",
+            &mut env,
+            3,
+        );
+        assert_eq!(v[0], vec![0, 0, 1]);
+        assert_eq!(v[1], vec![0, 1, 2]);
+        assert_eq!(v[2], vec![4, 7, 1]);
+    }
+
+    #[test]
+    fn guard_emitted_for_unsolvable_equation() {
+        // DIA-style membership: iterate d, keep only off(d) = j - i.
+        let mut env = RtEnv::new()
+            .with_sym("ND", 3)
+            .with_uf("off", vec![-1, 0, 2]);
+        // Fixed i=1, j=3: only d with off(d)=2 (d=2) survives.
+        let v = run_and_collect(
+            "{ [d] : 0 <= d < ND && off(d) = 2 }",
+            &mut env,
+            1,
+        );
+        assert_eq!(v[0], vec![2]);
+    }
+
+    #[test]
+    fn triangular_space() {
+        let mut env = RtEnv::new().with_sym("N", 4);
+        let v = run_and_collect("{ [i, j] : 0 <= i < N && 0 <= j <= i }", &mut env, 2);
+        assert_eq!(v[0], vec![0, 1, 1, 2, 2, 2, 3, 3, 3, 3]);
+        assert_eq!(v[1], vec![0, 0, 1, 0, 1, 2, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn union_lowers_to_sequence() {
+        let mut env = RtEnv::new();
+        let v = run_and_collect(
+            "{ [i] : 0 <= i < 2 } union { [i] : 5 <= i < 7 }",
+            &mut env,
+            1,
+        );
+        assert_eq!(v[0], vec![0, 1, 5, 6]);
+    }
+
+    #[test]
+    fn missing_bounds_is_an_error() {
+        let mut set = parse_set("{ [i] : i >= 0 }").unwrap();
+        set.simplify();
+        let mut slots = SlotAlloc::new();
+        let err = lower_set(&set, &mut slots, |_| Vec::new()).unwrap_err();
+        assert_eq!(err, ScanError::NoBounds { var: "i".into() });
+    }
+
+    #[test]
+    fn max_of_two_lower_bounds() {
+        let mut env = RtEnv::new().with_sym("N", 10);
+        let v = run_and_collect(
+            "{ [i, j] : 0 <= i < 3 && 0 <= j < 5 && i <= j }",
+            &mut env,
+            2,
+        );
+        // j starts at max(0, i).
+        assert_eq!(v[0], vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2]);
+        assert_eq!(v[1], vec![0, 1, 2, 3, 4, 1, 2, 3, 4, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Loop tiling (strip-mining) — the last of the paper's list of SPF
+//! transformations ("fusion, skewing, unrolling, tiling, and others").
+//!
+//! Like [`crate::unroll`], tiling runs on the loop AST after scanning: a
+//! `for` over `[lo, hi)` becomes a tile loop over tile indices and an
+//! intra-tile loop reusing the original variable's register, so body
+//! statements are unchanged.
+
+use crate::ast::{Expr, Slot, SlotAlloc, Stmt};
+
+/// Strip-mines by `tile` every `for` loop (recursively) whose variable is
+/// named `var`. Returns the number of loops rewritten.
+///
+/// # Panics
+/// Panics when `tile < 2`.
+pub fn tile_loops(
+    stmts: &mut Vec<Stmt>,
+    var: &str,
+    tile: i64,
+    slots: &mut SlotAlloc,
+) -> usize {
+    assert!(tile >= 2, "tile size must be at least 2");
+    let mut count = 0;
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts.drain(..) {
+        out.extend(tile_stmt(s, var, tile, slots, &mut count));
+    }
+    *stmts = out;
+    count
+}
+
+fn tile_stmt(
+    s: Stmt,
+    var: &str,
+    tile: i64,
+    slots: &mut SlotAlloc,
+    count: &mut usize,
+) -> Vec<Stmt> {
+    match s {
+        Stmt::For { var: v, slot, lo, hi, mut body } => {
+            let mut inner = Vec::new();
+            for b in body.drain(..) {
+                inner.extend(tile_stmt(b, var, tile, slots, count));
+            }
+            if v == var {
+                *count += 1;
+                build_tiled(&v, slot, lo, hi, inner, tile, slots)
+            } else {
+                vec![Stmt::For { var: v, slot, lo, hi, body: inner }]
+            }
+        }
+        Stmt::If { cond, mut body } => {
+            let mut inner = Vec::new();
+            for b in body.drain(..) {
+                inner.extend(tile_stmt(b, var, tile, slots, count));
+            }
+            vec![Stmt::If { cond, body: inner }]
+        }
+        other => vec![other],
+    }
+}
+
+fn build_tiled(
+    var: &str,
+    slot: Slot,
+    lo: Expr,
+    hi: Expr,
+    body: Vec<Stmt>,
+    tile: i64,
+    slots: &mut SlotAlloc,
+) -> Vec<Stmt> {
+    let lo_slot = slots.alloc(format!("{var}_lo"));
+    let hi_slot = slots.alloc(format!("{var}_hi"));
+    let t_slot = slots.alloc(format!("{var}_t"));
+    let lo_v = Expr::Var(format!("{var}_lo"), lo_slot);
+    let hi_v = Expr::Var(format!("{var}_hi"), hi_slot);
+    let t_v = Expr::Var(format!("{var}_t"), t_slot);
+
+    // Number of tiles: ceil((hi - lo) / tile) = (hi - lo + tile - 1) / tile,
+    // clamped at zero for empty ranges.
+    let tiles = Expr::div(
+        Expr::max(
+            Expr::add(Expr::sub(hi_v.clone(), lo_v.clone()), Expr::Const(tile - 1)),
+            Expr::Const(0),
+        ),
+        Expr::Const(tile),
+    );
+    let tile_base = Expr::add(lo_v.clone(), Expr::mul(Expr::Const(tile), t_v.clone()));
+
+    vec![
+        Stmt::Let { var: format!("{var}_lo"), slot: lo_slot, value: lo },
+        Stmt::Let { var: format!("{var}_hi"), slot: hi_slot, value: hi },
+        Stmt::For {
+            var: format!("{var}_t"),
+            slot: t_slot,
+            lo: Expr::Const(0),
+            hi: tiles,
+            body: vec![Stmt::For {
+                var: var.to_string(),
+                slot,
+                lo: tile_base.clone(),
+                hi: Expr::min(hi_v, Expr::add(tile_base, Expr::Const(tile))),
+                body,
+            }],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{compile, execute};
+    use crate::runtime::RtEnv;
+
+    fn visit_loop() -> (Vec<Stmt>, SlotAlloc) {
+        let mut slots = SlotAlloc::new();
+        let n = slots.alloc("n");
+        let stmts = vec![
+            Stmt::UfAlloc { uf: "seen".into(), size: Expr::Sym("N".into()), init: Expr::Const(0) },
+            Stmt::For {
+                var: "n".into(),
+                slot: n,
+                lo: Expr::Const(0),
+                hi: Expr::Sym("N".into()),
+                body: vec![Stmt::UfWrite {
+                    uf: "seen".into(),
+                    idx: Expr::Var("n".into(), n),
+                    value: Expr::add(
+                        Expr::uf_read("seen", Expr::Var("n".into(), n)),
+                        Expr::Const(1),
+                    ),
+                }],
+            },
+        ];
+        (stmts, slots)
+    }
+
+    #[test]
+    fn tiled_loop_visits_each_point_once() {
+        for total in [0i64, 1, 5, 16, 17, 31] {
+            for tile in [2i64, 4, 8] {
+                let (mut stmts, mut slots) = visit_loop();
+                assert_eq!(tile_loops(&mut stmts, "n", tile, &mut slots), 1);
+                let prog = compile(&stmts, &slots);
+                let mut env = RtEnv::new().with_sym("N", total);
+                execute(&prog, &mut env).unwrap();
+                assert!(
+                    env.ufs["seen"].iter().all(|&x| x == 1),
+                    "total {total} tile {tile}: {:?}",
+                    env.ufs["seen"]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nested_loops_tile_the_named_one_only() {
+        let mut slots = SlotAlloc::new();
+        let i = slots.alloc("i");
+        let j = slots.alloc("j");
+        let mut stmts = vec![
+            Stmt::UfAlloc { uf: "c".into(), size: Expr::Const(1), init: Expr::Const(0) },
+            Stmt::For {
+                var: "i".into(),
+                slot: i,
+                lo: Expr::Const(0),
+                hi: Expr::Const(6),
+                body: vec![Stmt::For {
+                    var: "j".into(),
+                    slot: j,
+                    lo: Expr::Const(0),
+                    hi: Expr::Const(5),
+                    body: vec![Stmt::UfWrite {
+                        uf: "c".into(),
+                        idx: Expr::Const(0),
+                        value: Expr::add(Expr::uf_read("c", Expr::Const(0)), Expr::Const(1)),
+                    }],
+                }],
+            },
+        ];
+        assert_eq!(tile_loops(&mut stmts, "j", 2, &mut slots), 1);
+        let prog = compile(&stmts, &slots);
+        let mut env = RtEnv::new();
+        execute(&prog, &mut env).unwrap();
+        assert_eq!(env.ufs["c"], vec![30]);
+    }
+
+    #[test]
+    fn emitted_c_shows_tile_structure() {
+        let (mut stmts, mut slots) = visit_loop();
+        tile_loops(&mut stmts, "n", 8, &mut slots);
+        let c = crate::cemit::emit_c_block(&stmts);
+        assert!(c.contains("for (int n_t = 0;"), "{c}");
+        assert!(c.contains("MIN(n_hi, "), "{c}");
+    }
+}

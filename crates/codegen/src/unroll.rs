@@ -1,0 +1,209 @@
+//! Loop unrolling — one of the classic SPF transformations the paper
+//! lists ("SPF supports many loop transformations including fusion,
+//! skewing, unrolling, tiling, and others").
+//!
+//! Unrolling happens after scanning, on the loop AST: a `for` over
+//! `[lo, hi)` splits into a main loop of `(hi - lo) / F` unrolled steps
+//! plus an epilogue for the remainder. Each unrolled step rebinds the
+//! original loop variable's register with a `let`, so body statements
+//! run unchanged.
+
+use crate::ast::{Expr, Slot, SlotAlloc, Stmt};
+
+/// Unrolls by `factor` every `for` loop (recursively) whose variable is
+/// named `var`. Returns the number of loops rewritten.
+///
+/// # Panics
+/// Panics when `factor < 2`.
+pub fn unroll_loops(
+    stmts: &mut Vec<Stmt>,
+    var: &str,
+    factor: i64,
+    slots: &mut SlotAlloc,
+) -> usize {
+    assert!(factor >= 2, "unroll factor must be at least 2");
+    let mut count = 0;
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts.drain(..) {
+        out.extend(unroll_stmt(s, var, factor, slots, &mut count));
+    }
+    *stmts = out;
+    count
+}
+
+fn unroll_stmt(
+    s: Stmt,
+    var: &str,
+    factor: i64,
+    slots: &mut SlotAlloc,
+    count: &mut usize,
+) -> Vec<Stmt> {
+    match s {
+        Stmt::For { var: v, slot, lo, hi, mut body } if v == var => {
+            *count += 1;
+            // Recurse first so nested same-named loops (shadowing) also
+            // unroll.
+            let mut inner = Vec::new();
+            for b in body.drain(..) {
+                inner.extend(unroll_stmt(b, var, factor, slots, count));
+            }
+            build_unrolled(&v, slot, lo, hi, inner, factor, slots)
+        }
+        Stmt::For { var: v, slot, lo, hi, mut body } => {
+            let mut inner = Vec::new();
+            for b in body.drain(..) {
+                inner.extend(unroll_stmt(b, var, factor, slots, count));
+            }
+            vec![Stmt::For { var: v, slot, lo, hi, body: inner }]
+        }
+        Stmt::If { cond, mut body } => {
+            let mut inner = Vec::new();
+            for b in body.drain(..) {
+                inner.extend(unroll_stmt(b, var, factor, slots, count));
+            }
+            vec![Stmt::If { cond, body: inner }]
+        }
+        other => vec![other],
+    }
+}
+
+fn build_unrolled(
+    var: &str,
+    slot: Slot,
+    lo: Expr,
+    hi: Expr,
+    body: Vec<Stmt>,
+    factor: i64,
+    slots: &mut SlotAlloc,
+) -> Vec<Stmt> {
+    // Hoist the bounds so they evaluate once.
+    let lo_slot = slots.alloc(format!("{var}_lo"));
+    let hi_slot = slots.alloc(format!("{var}_hi"));
+    let steps_slot = slots.alloc(format!("{var}_steps"));
+    let u_slot = slots.alloc(format!("{var}_u"));
+    let lo_v = Expr::Var(format!("{var}_lo"), lo_slot);
+    let hi_v = Expr::Var(format!("{var}_hi"), hi_slot);
+    let steps_v = Expr::Var(format!("{var}_steps"), steps_slot);
+    let u_v = Expr::Var(format!("{var}_u"), u_slot);
+
+    let mut main_body = Vec::with_capacity(body.len() * factor as usize + factor as usize);
+    for k in 0..factor {
+        // var = lo + factor*u + k, rebinding the original slot so the
+        // body is reused verbatim.
+        main_body.push(Stmt::Let {
+            var: var.to_string(),
+            slot,
+            value: Expr::add(
+                Expr::add(lo_v.clone(), Expr::mul(Expr::Const(factor), u_v.clone())),
+                Expr::Const(k),
+            ),
+        });
+        main_body.extend(body.clone());
+    }
+
+    vec![
+        Stmt::Let { var: format!("{var}_lo"), slot: lo_slot, value: lo },
+        Stmt::Let { var: format!("{var}_hi"), slot: hi_slot, value: hi },
+        Stmt::Let {
+            var: format!("{var}_steps"),
+            slot: steps_slot,
+            value: Expr::div(
+                Expr::max(Expr::sub(hi_v.clone(), lo_v.clone()), Expr::Const(0)),
+                Expr::Const(factor),
+            ),
+        },
+        Stmt::For {
+            var: format!("{var}_u"),
+            slot: u_slot,
+            lo: Expr::Const(0),
+            hi: steps_v.clone(),
+            body: main_body,
+        },
+        // Epilogue: the remaining `(hi - lo) mod factor` iterations.
+        Stmt::For {
+            var: var.to_string(),
+            slot,
+            lo: Expr::add(lo_v, Expr::mul(Expr::Const(factor), steps_v)),
+            hi: hi_v,
+            body,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{compile, execute};
+    use crate::runtime::RtEnv;
+
+    /// Builds `for n in 0..N { acc[0] += n }` and returns (stmts, slots).
+    fn sum_loop() -> (Vec<Stmt>, SlotAlloc) {
+        let mut slots = SlotAlloc::new();
+        let n = slots.alloc("n");
+        let stmts = vec![
+            Stmt::UfAlloc { uf: "acc".into(), size: Expr::Const(1), init: Expr::Const(0) },
+            Stmt::For {
+                var: "n".into(),
+                slot: n,
+                lo: Expr::Const(0),
+                hi: Expr::Sym("N".into()),
+                body: vec![Stmt::UfWrite {
+                    uf: "acc".into(),
+                    idx: Expr::Const(0),
+                    value: Expr::add(
+                        Expr::uf_read("acc", Expr::Const(0)),
+                        Expr::Var("n".into(), n),
+                    ),
+                }],
+            },
+        ];
+        (stmts, slots)
+    }
+
+    #[test]
+    fn unrolled_loop_computes_the_same_sum() {
+        for total in [0i64, 1, 2, 3, 7, 8, 9, 100] {
+            for factor in [2i64, 3, 4] {
+                let (mut stmts, mut slots) = sum_loop();
+                let n = unroll_loops(&mut stmts, "n", factor, &mut slots);
+                assert_eq!(n, 1);
+                let prog = compile(&stmts, &slots);
+                let mut env = RtEnv::new().with_sym("N", total);
+                execute(&prog, &mut env).unwrap();
+                assert_eq!(
+                    env.ufs["acc"],
+                    vec![total * (total - 1).max(0) / 2],
+                    "total {total} factor {factor}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unroll_reduces_loop_iterations() {
+        let (mut stmts, mut slots) = sum_loop();
+        unroll_loops(&mut stmts, "n", 4, &mut slots);
+        let prog = compile(&stmts, &slots);
+        let mut env = RtEnv::new().with_sym("N", 100);
+        let stats = execute(&prog, &mut env).unwrap();
+        // 25 unrolled steps + 0 epilogue instead of 100.
+        assert_eq!(stats.loop_iterations, 25);
+    }
+
+    #[test]
+    fn non_matching_loops_untouched() {
+        let (mut stmts, mut slots) = sum_loop();
+        assert_eq!(unroll_loops(&mut stmts, "zzz", 2, &mut slots), 0);
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn emitted_c_shows_epilogue() {
+        let (mut stmts, mut slots) = sum_loop();
+        unroll_loops(&mut stmts, "n", 2, &mut slots);
+        let c = crate::cemit::emit_c_block(&stmts);
+        assert!(c.contains("n_steps"), "{c}");
+        // Two unrolled body copies in the main loop plus the epilogue.
+        assert_eq!(c.matches("acc[0] = (acc[0] + n);").count(), 3, "{c}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Property test for polyhedra scanning: the lowered loop nest visits
+//! exactly the integer points of the iteration set, for arbitrary boxes
+//! with random extra affine constraints (which the scanner may turn into
+//! tighter bounds or guards — either way the visited set must match a
+//! brute-force enumeration).
+
+use proptest::prelude::*;
+use spf_codegen::ast::{Expr, SlotAlloc, Stmt};
+use spf_codegen::interp::{compile, execute};
+use spf_codegen::runtime::RtEnv;
+use spf_codegen::scan::lower_set;
+use spf_ir::constraint::Constraint;
+use spf_ir::expr::{LinExpr, VarId};
+use spf_ir::formula::{Conjunction, Set};
+
+/// One random extra constraint: `c0*v0 + c1*v1 (+ c2*v2) + k >= 0`.
+#[derive(Debug, Clone)]
+struct ExtraIneq {
+    coeffs: Vec<i64>,
+    k: i64,
+}
+
+fn arb_space(nvars: usize) -> impl Strategy<Value = (Vec<i64>, Vec<ExtraIneq>)> {
+    let bounds = proptest::collection::vec(1i64..8, nvars);
+    let extra = proptest::collection::vec(
+        (proptest::collection::vec(-2i64..=2, nvars), -6i64..=6)
+            .prop_map(|(coeffs, k)| ExtraIneq { coeffs, k }),
+        0..3,
+    );
+    (bounds, extra)
+}
+
+fn build_set(bounds: &[i64], extra: &[ExtraIneq]) -> Set {
+    let n = bounds.len() as u32;
+    let mut conj = Conjunction::new(n);
+    for (p, &b) in bounds.iter().enumerate() {
+        conj.add(Constraint::ge(LinExpr::var(VarId(p as u32)), LinExpr::zero()));
+        conj.add(Constraint::lt(LinExpr::var(VarId(p as u32)), LinExpr::constant(b)));
+    }
+    for e in extra {
+        let mut expr = LinExpr::constant(e.k);
+        for (p, &c) in e.coeffs.iter().enumerate() {
+            expr.add_assign(&LinExpr::var(VarId(p as u32)).scaled(c));
+        }
+        conj.add(Constraint::Geq(expr));
+    }
+    let names = (0..bounds.len()).map(|p| format!("v{p}")).collect();
+    let mut s = Set::from_conjunctions(names, vec![conj]);
+    s.simplify();
+    s
+}
+
+/// Brute-force count of integer points satisfying the original
+/// constraints.
+fn brute_force(bounds: &[i64], extra: &[ExtraIneq]) -> i64 {
+    fn rec(bounds: &[i64], extra: &[ExtraIneq], point: &mut Vec<i64>) -> i64 {
+        if point.len() == bounds.len() {
+            let ok = extra.iter().all(|e| {
+                e.k + e
+                    .coeffs
+                    .iter()
+                    .zip(point.iter())
+                    .map(|(c, v)| c * v)
+                    .sum::<i64>()
+                    >= 0
+            });
+            return i64::from(ok);
+        }
+        let mut total = 0;
+        for v in 0..bounds[point.len()] {
+            point.push(v);
+            total += rec(bounds, extra, point);
+            point.pop();
+        }
+        total
+    }
+    rec(bounds, extra, &mut Vec::new())
+}
+
+fn scanned_count(set: &Set) -> i64 {
+    let mut slots = SlotAlloc::new();
+    let stmts = lower_set(set, &mut slots, |_vars| {
+        vec![Stmt::UfWrite {
+            uf: "count".into(),
+            idx: Expr::Const(0),
+            value: Expr::add(Expr::uf_read("count", Expr::Const(0)), Expr::Const(1)),
+        }]
+    })
+    .expect("scannable");
+    let prog = compile(&stmts, &slots);
+    let mut env = RtEnv::new().with_uf("count", vec![0]);
+    execute(&prog, &mut env).expect("runs");
+    env.ufs["count"][0]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn scan_visits_exactly_the_set_2d((bounds, extra) in arb_space(2)) {
+        let set = build_set(&bounds, &extra);
+        // Simplification can prove the set empty; brute force must agree.
+        let want = brute_force(&bounds, &extra);
+        let got = if set.is_empty() { 0 } else { scanned_count(&set) };
+        prop_assert_eq!(got, want, "bounds {:?} extra {:?}", bounds, extra);
+    }
+
+    #[test]
+    fn scan_visits_exactly_the_set_3d((bounds, extra) in arb_space(3)) {
+        let set = build_set(&bounds, &extra);
+        let want = brute_force(&bounds, &extra);
+        let got = if set.is_empty() { 0 } else { scanned_count(&set) };
+        prop_assert_eq!(got, want, "bounds {:?} extra {:?}", bounds, extra);
+    }
+}

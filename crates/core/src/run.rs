@@ -1,0 +1,483 @@
+//! Executing synthesized conversions on real tensors: binding runtime
+//! containers into the interpreter environment by their descriptor's UF
+//! names, running the compiled inspector, and extracting the destination
+//! container.
+
+use std::fmt;
+
+use sparse_formats::{
+    Coo3Tensor, CooMatrix, CscMatrix, CsrMatrix, DiaMatrix, EllMatrix,
+    FormatDescriptor, FormatError, MortonCoo3Tensor, MortonCooMatrix,
+};
+use spf_codegen::interp::{ExecError, ExecStats};
+use spf_codegen::runtime::RtEnv;
+use spf_computation::{Compiled, ComparatorRegistry};
+
+use crate::synthesize::{
+    synthesize, SynthesisError, SynthesisOptions, SynthesizedConversion,
+};
+
+/// Errors raised while running a conversion.
+#[derive(Debug)]
+pub enum RunError {
+    /// Synthesis failed.
+    Synthesis(SynthesisError),
+    /// Execution failed.
+    Exec(ExecError),
+    /// The produced destination data violates the format's invariants
+    /// (this would indicate a synthesis bug).
+    Format(FormatError),
+    /// A name expected in the environment after execution is missing.
+    MissingOutput(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Synthesis(e) => write!(f, "synthesis: {e}"),
+            RunError::Exec(e) => write!(f, "execution: {e}"),
+            RunError::Format(e) => write!(f, "invalid output: {e}"),
+            RunError::MissingOutput(n) => write!(f, "missing output `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<SynthesisError> for RunError {
+    fn from(e: SynthesisError) -> Self {
+        RunError::Synthesis(e)
+    }
+}
+
+impl From<ExecError> for RunError {
+    fn from(e: ExecError) -> Self {
+        RunError::Exec(e)
+    }
+}
+
+impl From<FormatError> for RunError {
+    fn from(e: FormatError) -> Self {
+        RunError::Format(e)
+    }
+}
+
+/// A synthesized, compiled, ready-to-run conversion.
+pub struct Conversion {
+    /// The synthesis result (inspect `computation`, `composed`, `plan`).
+    pub synth: SynthesizedConversion,
+    compiled: Compiled,
+    comparators: ComparatorRegistry,
+}
+
+impl Conversion {
+    /// Synthesizes and compiles the conversion from `src` to `dst`.
+    ///
+    /// # Errors
+    /// Propagates synthesis and lowering failures.
+    pub fn new(
+        src: &FormatDescriptor,
+        dst: &FormatDescriptor,
+        options: SynthesisOptions,
+    ) -> Result<Self, RunError> {
+        let synth = synthesize(src, dst, options)?;
+        let compiled = synth.computation.lower().map_err(SynthesisError::Lower)?;
+        Ok(Conversion { synth, compiled, comparators: ComparatorRegistry::new() })
+    }
+
+    /// Registers a user-defined comparator for `ListOrderSpec::Custom`
+    /// order keys.
+    pub fn register_comparator(
+        &mut self,
+        name: impl Into<String>,
+        cmp: spf_codegen::runtime::CmpFn,
+    ) {
+        self.comparators.insert(name.into(), cmp);
+    }
+
+    /// Emits the synthesized inspector as C code.
+    pub fn emit_c(&self) -> String {
+        self.compiled.emit_c(&format!(
+            "{}_to_{}",
+            self.synth.src.name.to_lowercase(),
+            self.synth.dst.name.to_lowercase()
+        ))
+    }
+
+    /// Emits the synthesized inspector as a complete, compilable C99
+    /// translation unit (prelude + `OrderedList` runtime + globals +
+    /// function).
+    pub fn emit_c_program(&self) -> String {
+        self.compiled.emit_c_program(&format!(
+            "{}_to_{}",
+            self.synth.src.name.to_lowercase(),
+            self.synth.dst.name.to_lowercase()
+        ))
+    }
+
+    /// Runs the compiled inspector against a pre-populated environment.
+    ///
+    /// # Errors
+    /// Propagates interpreter errors.
+    pub fn execute_env(&self, env: &mut RtEnv) -> Result<ExecStats, RunError> {
+        Ok(self.compiled.execute(env, &self.comparators)?)
+    }
+
+    /// Binds a COO matrix as the conversion source.
+    pub fn bind_coo_source(&self, env: &mut RtEnv, m: &CooMatrix) {
+        bind_coo(env, &self.synth.src, m);
+    }
+
+    /// Converts a COO matrix to CSR (destination descriptor must be
+    /// CSR-shaped).
+    ///
+    /// # Errors
+    /// Propagates execution errors and output validation failures.
+    pub fn run_coo_to_csr(&self, m: &CooMatrix) -> Result<(CsrMatrix, ExecStats), RunError> {
+        let mut env = RtEnv::new();
+        bind_coo(&mut env, &self.synth.src, m);
+        let stats = self.execute_env(&mut env)?;
+        let out = extract_csr(&env, &self.synth.dst, m.nr, m.nc)?;
+        Ok((out, stats))
+    }
+
+    /// Converts a COO matrix to CSC.
+    ///
+    /// # Errors
+    /// Propagates execution errors and output validation failures.
+    pub fn run_coo_to_csc(&self, m: &CooMatrix) -> Result<(CscMatrix, ExecStats), RunError> {
+        let mut env = RtEnv::new();
+        bind_coo(&mut env, &self.synth.src, m);
+        let stats = self.execute_env(&mut env)?;
+        let out = extract_csc(&env, &self.synth.dst, m.nr, m.nc)?;
+        Ok((out, stats))
+    }
+
+    /// Converts a CSR matrix to CSC.
+    ///
+    /// # Errors
+    /// Propagates execution errors and output validation failures.
+    pub fn run_csr_to_csc(&self, m: &CsrMatrix) -> Result<(CscMatrix, ExecStats), RunError> {
+        let mut env = RtEnv::new();
+        bind_csr(&mut env, &self.synth.src, m);
+        let stats = self.execute_env(&mut env)?;
+        let out = extract_csc(&env, &self.synth.dst, m.nr, m.nc)?;
+        Ok((out, stats))
+    }
+
+    /// Converts a CSR matrix to COO.
+    ///
+    /// # Errors
+    /// Propagates execution errors and output validation failures.
+    pub fn run_csr_to_coo(&self, m: &CsrMatrix) -> Result<(CooMatrix, ExecStats), RunError> {
+        let mut env = RtEnv::new();
+        bind_csr(&mut env, &self.synth.src, m);
+        let stats = self.execute_env(&mut env)?;
+        let out = extract_coo(&env, &self.synth.dst, m.nr, m.nc)?;
+        Ok((out, stats))
+    }
+
+    /// Converts a COO matrix to DIA.
+    ///
+    /// # Errors
+    /// Propagates execution errors and output validation failures.
+    pub fn run_coo_to_dia(&self, m: &CooMatrix) -> Result<(DiaMatrix, ExecStats), RunError> {
+        let mut env = RtEnv::new();
+        bind_coo(&mut env, &self.synth.src, m);
+        let stats = self.execute_env(&mut env)?;
+        let out = extract_dia(&env, &self.synth.dst, m.nr, m.nc)?;
+        Ok((out, stats))
+    }
+
+    /// Converts a COO matrix to Morton-ordered COO.
+    ///
+    /// # Errors
+    /// Propagates execution errors and output validation failures.
+    pub fn run_coo_to_mcoo(
+        &self,
+        m: &CooMatrix,
+    ) -> Result<(MortonCooMatrix, ExecStats), RunError> {
+        let mut env = RtEnv::new();
+        bind_coo(&mut env, &self.synth.src, m);
+        let stats = self.execute_env(&mut env)?;
+        let out = extract_coo(&env, &self.synth.dst, m.nr, m.nc)?;
+        Ok((MortonCooMatrix::new(out)?, stats))
+    }
+
+    /// Converts a COO matrix to sorted COO (row-major).
+    ///
+    /// # Errors
+    /// Propagates execution errors and output validation failures.
+    pub fn run_coo_to_scoo(&self, m: &CooMatrix) -> Result<(CooMatrix, ExecStats), RunError> {
+        let mut env = RtEnv::new();
+        bind_coo(&mut env, &self.synth.src, m);
+        let stats = self.execute_env(&mut env)?;
+        let out = extract_coo(&env, &self.synth.dst, m.nr, m.nc)?;
+        Ok((out, stats))
+    }
+
+    /// Converts a CSC matrix to CSR.
+    ///
+    /// # Errors
+    /// Propagates execution errors and output validation failures.
+    pub fn run_csc_to_csr(&self, m: &CscMatrix) -> Result<(CsrMatrix, ExecStats), RunError> {
+        let mut env = RtEnv::new();
+        bind_csc(&mut env, &self.synth.src, m);
+        let stats = self.execute_env(&mut env)?;
+        let out = extract_csr(&env, &self.synth.dst, m.nr, m.nc)?;
+        Ok((out, stats))
+    }
+
+    /// Converts a CSC matrix to COO (kept in the source's column-major
+    /// order).
+    ///
+    /// # Errors
+    /// Propagates execution errors and output validation failures.
+    pub fn run_csc_to_coo(&self, m: &CscMatrix) -> Result<(CooMatrix, ExecStats), RunError> {
+        let mut env = RtEnv::new();
+        bind_csc(&mut env, &self.synth.src, m);
+        let stats = self.execute_env(&mut env)?;
+        let out = extract_coo(&env, &self.synth.dst, m.nr, m.nc)?;
+        Ok((out, stats))
+    }
+
+    /// Converts an ELL matrix to CSR (compacting the padding).
+    ///
+    /// # Errors
+    /// Propagates execution errors and output validation failures.
+    pub fn run_ell_to_csr(&self, m: &EllMatrix) -> Result<(CsrMatrix, ExecStats), RunError> {
+        let mut env = RtEnv::new();
+        bind_ell(&mut env, &self.synth.src, m);
+        let stats = self.execute_env(&mut env)?;
+        let out = extract_csr(&env, &self.synth.dst, m.nr, m.nc)?;
+        Ok((out, stats))
+    }
+
+    /// Converts an ELL matrix to COO.
+    ///
+    /// # Errors
+    /// Propagates execution errors and output validation failures.
+    pub fn run_ell_to_coo(&self, m: &EllMatrix) -> Result<(CooMatrix, ExecStats), RunError> {
+        let mut env = RtEnv::new();
+        bind_ell(&mut env, &self.synth.src, m);
+        let stats = self.execute_env(&mut env)?;
+        let out = extract_coo(&env, &self.synth.dst, m.nr, m.nc)?;
+        Ok((out, stats))
+    }
+
+    /// Converts an order-3 COO tensor to Morton-ordered COO3.
+    ///
+    /// # Errors
+    /// Propagates execution errors and output validation failures.
+    pub fn run_coo3_to_mcoo3(
+        &self,
+        t: &Coo3Tensor,
+    ) -> Result<(MortonCoo3Tensor, ExecStats), RunError> {
+        let mut env = RtEnv::new();
+        bind_coo3(&mut env, &self.synth.src, t);
+        let stats = self.execute_env(&mut env)?;
+        let out = extract_coo3(&env, &self.synth.dst, (t.nr, t.nc, t.nz))?;
+        Ok((MortonCoo3Tensor::new(out)?, stats))
+    }
+}
+
+fn dims_to_env(env: &mut RtEnv, desc: &FormatDescriptor, dims: &[usize], nnz: usize) {
+    for (sym, &d) in desc.dim_syms.iter().zip(dims) {
+        env.syms.insert(sym.clone(), d as i64);
+    }
+    env.syms.insert(desc.nnz_sym.clone(), nnz as i64);
+}
+
+/// Binds a COO matrix under the descriptor's names (coordinate UFs from
+/// `coord_ufs`, data under `data_name`).
+pub fn bind_coo(env: &mut RtEnv, desc: &FormatDescriptor, m: &CooMatrix) {
+    dims_to_env(env, desc, &[m.nr, m.nc], m.nnz());
+    let row = desc.coord_ufs[0].clone().expect("COO row UF");
+    let col = desc.coord_ufs[1].clone().expect("COO col UF");
+    env.ufs.insert(row, m.row.clone());
+    env.ufs.insert(col, m.col.clone());
+    env.data.insert(desc.data_name.clone(), m.val.clone());
+}
+
+/// Binds an order-3 COO tensor.
+pub fn bind_coo3(env: &mut RtEnv, desc: &FormatDescriptor, t: &Coo3Tensor) {
+    dims_to_env(env, desc, &[t.nr, t.nc, t.nz], t.nnz());
+    let u0 = desc.coord_ufs[0].clone().expect("COO3 mode-0 UF");
+    let u1 = desc.coord_ufs[1].clone().expect("COO3 mode-1 UF");
+    let u2 = desc.coord_ufs[2].clone().expect("COO3 mode-2 UF");
+    env.ufs.insert(u0, t.i0.clone());
+    env.ufs.insert(u1, t.i1.clone());
+    env.ufs.insert(u2, t.i2.clone());
+    env.data.insert(desc.data_name.clone(), t.val.clone());
+}
+
+/// Finds the descriptor's pointer UF (the monotonic one).
+fn pointer_uf(desc: &FormatDescriptor) -> String {
+    desc.ufs
+        .iter()
+        .find(|s| s.monotonicity.is_some())
+        .map(|s| s.name.clone())
+        .expect("compressed format has a monotonic pointer UF")
+}
+
+/// Binds a CSR matrix under the descriptor's names.
+pub fn bind_csr(env: &mut RtEnv, desc: &FormatDescriptor, m: &CsrMatrix) {
+    dims_to_env(env, desc, &[m.nr, m.nc], m.nnz());
+    env.ufs.insert(pointer_uf(desc), m.rowptr.clone());
+    let col = desc.coord_ufs[1].clone().expect("CSR column UF");
+    env.ufs.insert(col, m.col.clone());
+    env.data.insert(desc.data_name.clone(), m.val.clone());
+}
+
+/// Binds an ELL matrix under the descriptor's names (padded slot layout:
+/// `ellcol`, data, and the `ELLW` width symbol; `NNZ` is the *actual*
+/// nonzero count, excluding padding).
+pub fn bind_ell(env: &mut RtEnv, desc: &FormatDescriptor, m: &EllMatrix) {
+    dims_to_env(env, desc, &[m.nr, m.nc], m.to_coo().nnz());
+    env.syms.insert(desc.extra_syms[0].clone(), m.width as i64);
+    let col_name = desc
+        .ufs
+        .iter()
+        .next()
+        .map(|s| s.name.clone())
+        .expect("ELL has a column UF");
+    env.ufs.insert(col_name, m.col.clone());
+    env.data.insert(desc.data_name.clone(), m.data.clone());
+}
+
+/// Binds a DIA matrix under the descriptor's names (for executor use:
+/// `off`, the data block, and the `ND` symbol).
+pub fn bind_dia(env: &mut RtEnv, desc: &FormatDescriptor, m: &DiaMatrix) {
+    dims_to_env(env, desc, &[m.nr, m.nc], m.to_coo().nnz());
+    env.syms.insert(desc.extra_syms[0].clone(), m.nd() as i64);
+    let off_name = desc
+        .ufs
+        .iter()
+        .next()
+        .map(|s| s.name.clone())
+        .expect("DIA has an offset UF");
+    env.ufs.insert(off_name, m.off.clone());
+    env.data.insert(desc.data_name.clone(), m.data.clone());
+}
+
+/// Binds a CSC matrix under the descriptor's names.
+pub fn bind_csc(env: &mut RtEnv, desc: &FormatDescriptor, m: &CscMatrix) {
+    dims_to_env(env, desc, &[m.nr, m.nc], m.nnz());
+    env.ufs.insert(pointer_uf(desc), m.colptr.clone());
+    let row = desc.coord_ufs[0].clone().expect("CSC row UF");
+    env.ufs.insert(row, m.row.clone());
+    env.data.insert(desc.data_name.clone(), m.val.clone());
+}
+
+fn take_uf(env: &RtEnv, name: &str) -> Result<Vec<i64>, RunError> {
+    env.ufs
+        .get(name)
+        .cloned()
+        .ok_or_else(|| RunError::MissingOutput(name.to_string()))
+}
+
+fn take_data(env: &RtEnv, name: &str) -> Result<Vec<f64>, RunError> {
+    env.data
+        .get(name)
+        .cloned()
+        .ok_or_else(|| RunError::MissingOutput(name.to_string()))
+}
+
+/// Extracts a (validated) CSR matrix written under `desc`'s names.
+///
+/// # Errors
+/// Fails on missing outputs or invariant violations.
+pub fn extract_csr(
+    env: &RtEnv,
+    desc: &FormatDescriptor,
+    nr: usize,
+    nc: usize,
+) -> Result<CsrMatrix, RunError> {
+    let rowptr = take_uf(env, &pointer_uf(desc))?;
+    let col = take_uf(env, desc.coord_ufs[1].as_ref().expect("CSR column UF"))?;
+    let val = take_data(env, &desc.data_name)?;
+    Ok(CsrMatrix::new(nr, nc, rowptr, col, val)?)
+}
+
+/// Extracts a (validated) CSC matrix.
+///
+/// # Errors
+/// Fails on missing outputs or invariant violations.
+pub fn extract_csc(
+    env: &RtEnv,
+    desc: &FormatDescriptor,
+    nr: usize,
+    nc: usize,
+) -> Result<CscMatrix, RunError> {
+    let colptr = take_uf(env, &pointer_uf(desc))?;
+    let row = take_uf(env, desc.coord_ufs[0].as_ref().expect("CSC row UF"))?;
+    let val = take_data(env, &desc.data_name)?;
+    Ok(CscMatrix::new(nr, nc, colptr, row, val)?)
+}
+
+/// Extracts a (validated) COO matrix.
+///
+/// # Errors
+/// Fails on missing outputs or invariant violations.
+pub fn extract_coo(
+    env: &RtEnv,
+    desc: &FormatDescriptor,
+    nr: usize,
+    nc: usize,
+) -> Result<CooMatrix, RunError> {
+    let row = take_uf(env, desc.coord_ufs[0].as_ref().expect("COO row UF"))?;
+    let col = take_uf(env, desc.coord_ufs[1].as_ref().expect("COO col UF"))?;
+    let val = take_data(env, &desc.data_name)?;
+    Ok(CooMatrix::from_triplets(nr, nc, row, col, val)?)
+}
+
+/// Extracts a (validated) order-3 COO tensor.
+///
+/// # Errors
+/// Fails on missing outputs or invariant violations.
+pub fn extract_coo3(
+    env: &RtEnv,
+    desc: &FormatDescriptor,
+    dims: (usize, usize, usize),
+) -> Result<Coo3Tensor, RunError> {
+    let i0 = take_uf(env, desc.coord_ufs[0].as_ref().expect("mode-0 UF"))?;
+    let i1 = take_uf(env, desc.coord_ufs[1].as_ref().expect("mode-1 UF"))?;
+    let i2 = take_uf(env, desc.coord_ufs[2].as_ref().expect("mode-2 UF"))?;
+    let val = take_data(env, &desc.data_name)?;
+    Ok(Coo3Tensor::from_coords(dims, i0, i1, i2, val)?)
+}
+
+/// Extracts a (validated) DIA matrix.
+///
+/// # Errors
+/// Fails on missing outputs or invariant violations.
+pub fn extract_dia(
+    env: &RtEnv,
+    desc: &FormatDescriptor,
+    nr: usize,
+    nc: usize,
+) -> Result<DiaMatrix, RunError> {
+    let off_name = desc
+        .ufs
+        .iter()
+        .next()
+        .map(|s| s.name.clone())
+        .ok_or_else(|| RunError::MissingOutput("off".into()))?;
+    let off = take_uf(env, &off_name)?;
+    let data = take_data(env, &desc.data_name)?;
+    Ok(DiaMatrix::new(nr, nc, off, data)?)
+}
+
+/// Convenience: synthesize with `options` and convert in one call.
+///
+/// # Errors
+/// Propagates synthesis and execution failures.
+pub fn convert_coo_to_csr(
+    src: &FormatDescriptor,
+    dst: &FormatDescriptor,
+    m: &CooMatrix,
+    options: SynthesisOptions,
+) -> Result<CsrMatrix, RunError> {
+    let conv = Conversion::new(src, dst, options)?;
+    Ok(conv.run_coo_to_csr(m)?.0)
+}

@@ -1,0 +1,681 @@
+//! The inspector synthesis algorithm (§3.2 of the paper) and its
+//! optimization pipeline (§3.3).
+//!
+//! Given a source and a destination [`FormatDescriptor`], synthesis:
+//!
+//! 1. **inverts** the destination sparse-to-dense map and inserts the
+//!    permutation `P`,
+//! 2. **composes** it with the source map (`R = dst⁻¹ ∘ src`),
+//! 3. solves each **unknown UF** from its constraints (Cases 1–5, see
+//!    [`crate::analysis`]), emitting SPF statements that populate it,
+//! 4. **enforces universal quantifiers** — reordering quantifiers through
+//!    the `OrderedList` sort, monotonic quantifiers through an
+//!    enforcement sweep,
+//! 5. generates the **copy** statement over the composed relation.
+//!
+//! The result is a naive SPF [`Computation`] — a sparse loop chain — that
+//! the §3.3 optimization pipeline then improves: redundancy removal,
+//! *identity-permutation elimination* (when the source order implies the
+//! destination order, `P.rank(...)` collapses to the source position and
+//! dead-code elimination deletes the whole permutation chain — the
+//! paper's COO→CSR fast path), loop fusion, and optionally the Figure 3
+//! binary-search rewrite of DIA's linear search.
+
+use std::fmt;
+
+use sparse_formats::descriptors::{domain_alloc_size, range_max};
+use sparse_formats::FormatDescriptor;
+use spf_computation::{
+    optimize as spf_optimize, Computation, FindSpec, Kernel, ListOrderSpec, LowerError,
+    Stmt,
+};
+use spf_ir::constraint::Constraint;
+use spf_ir::expr::{LinExpr, UfCall, VarId};
+use spf_ir::formula::{Relation, Set};
+use spf_ir::order::Comparator;
+use spf_ir::uf::Monotonicity;
+
+use crate::analysis::{analyze_destination, AnalysisError, DstAnalysis, DstVarKind};
+
+/// Options controlling synthesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthesisOptions {
+    /// Run the §3.3 optimization pipeline (redundancy removal, identity
+    /// permutation elimination + DCE, fusion).
+    pub optimize: bool,
+    /// Replace linear membership search with binary search when the
+    /// searched UF's monotonic quantifier licenses it (Figure 3).
+    pub binary_search: bool,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        SynthesisOptions { optimize: true, binary_search: false }
+    }
+}
+
+/// Errors raised by synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthesisError {
+    /// The source format has no executable scan (e.g. DIA as source).
+    SourceNotScannable(String),
+    /// Destination analysis failed.
+    Analysis(AnalysisError),
+    /// The destination requires more than one search variable.
+    MultipleFindVars,
+    /// A Case-5 UF's domain size is not a plain symbol that synthesis can
+    /// set from the collected list length.
+    NonSymbolicListLen(String),
+    /// A UF signature lacks the domain/range information synthesis needs.
+    MissingDomainInfo(String),
+    /// The destination order key has fewer than two dimensions (rank
+    /// lookups need composite keys).
+    DegenerateOrderKey,
+    /// Source and destination have different dense ranks.
+    RankMismatch {
+        /// Source rank.
+        src: usize,
+        /// Destination rank.
+        dst: usize,
+    },
+    /// Lowering the synthesized computation failed.
+    Lower(LowerError),
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::SourceNotScannable(n) => {
+                write!(f, "format `{n}` is not supported as a conversion source")
+            }
+            SynthesisError::Analysis(e) => write!(f, "destination analysis: {e}"),
+            SynthesisError::MultipleFindVars => {
+                write!(f, "more than one search variable in the destination")
+            }
+            SynthesisError::NonSymbolicListLen(uf) => {
+                write!(f, "domain size of `{uf}` is not a plain symbol")
+            }
+            SynthesisError::MissingDomainInfo(uf) => {
+                write!(f, "missing domain/range declaration for `{uf}`")
+            }
+            SynthesisError::DegenerateOrderKey => {
+                write!(f, "destination order key must have at least two dimensions")
+            }
+            SynthesisError::RankMismatch { src, dst } => {
+                write!(f, "dense rank mismatch: source {src} vs destination {dst}")
+            }
+            SynthesisError::Lower(e) => write!(f, "lowering: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+impl From<AnalysisError> for SynthesisError {
+    fn from(e: AnalysisError) -> Self {
+        SynthesisError::Analysis(e)
+    }
+}
+
+impl From<LowerError> for SynthesisError {
+    fn from(e: LowerError) -> Self {
+        SynthesisError::Lower(e)
+    }
+}
+
+/// How the destination position of each nonzero is obtained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PermutationKind {
+    /// No permutation needed: destination order unconstrained, or the
+    /// source order implies it. Positions are source positions.
+    Identity,
+    /// An `OrderedList` permutation `P` sorted with the given comparator.
+    Ordered {
+        /// Comparator specification.
+        order: ListOrderSpec,
+        /// Number of key columns.
+        width: usize,
+    },
+}
+
+/// A synthesized conversion: the naive and optimized computations plus
+/// everything needed to inspect or execute them.
+#[derive(Debug, Clone)]
+pub struct SynthesizedConversion {
+    /// Source descriptor.
+    pub src: FormatDescriptor,
+    /// Destination descriptor.
+    pub dst: FormatDescriptor,
+    /// The composed relation `R_{A_src -> A_dst}` (for inspection; the
+    /// paper's step 2).
+    pub composed: Relation,
+    /// The destination analysis (constraint classification; Table 2).
+    pub analysis: DstAnalysis,
+    /// The synthesized computation (optimized when the options say so).
+    pub computation: Computation,
+    /// The naive computation before optimization, kept for ablation.
+    pub naive: Computation,
+    /// How destination positions are produced in the *naive* computation
+    /// (the paper always generates `P` for ordered destinations).
+    pub permutation: PermutationKind,
+    /// `true` when optimization proved the permutation is the identity
+    /// (source order implies destination order) and removed it.
+    pub identity_eliminated: bool,
+    /// Human-readable solve order, e.g.
+    /// `["P", "col2", "rowptr", "copy"]`.
+    pub plan: Vec<String>,
+}
+
+/// Name of the synthesized permutation list.
+pub const PERM_NAME: &str = "P";
+
+/// Prefix for Case-5 value-collection lists (`L_off` etc.).
+pub const LIST_PREFIX: &str = "L_";
+
+/// Synthesizes the conversion from `src` to `dst`.
+///
+/// # Errors
+/// Returns a [`SynthesisError`] when either descriptor falls outside the
+/// supported fragment.
+pub fn synthesize(
+    src: &FormatDescriptor,
+    dst: &FormatDescriptor,
+    options: SynthesisOptions,
+) -> Result<SynthesizedConversion, SynthesisError> {
+    if src.rank != dst.rank {
+        return Err(SynthesisError::RankMismatch { src: src.rank, dst: dst.rank });
+    }
+    let scan = src
+        .scan
+        .as_ref()
+        .ok_or_else(|| SynthesisError::SourceNotScannable(src.name.clone()))?;
+    let analysis = analyze_destination(dst)?;
+
+    // Step 1 + 2: invert the destination map and compose with the source
+    // map. (The permutation constraint `P(i,j) = [n2, ii, jj]` is tracked
+    // as metadata — see `PermutationKind` — because `P` is tuple-valued.)
+    let mut composed = dst.sparse_to_dense.inverse().compose(&src.sparse_to_dense);
+    composed.simplify();
+
+    // Which find variables exist?
+    let find_vars: Vec<usize> = analysis
+        .var_kinds
+        .iter()
+        .enumerate()
+        .filter_map(|(idx, k)| matches!(k, DstVarKind::Find { .. }).then_some(idx))
+        .collect();
+    if find_vars.len() > 1 {
+        return Err(SynthesisError::MultipleFindVars);
+    }
+
+    let scan_arity = scan.set.arity() as usize;
+    let needs_position = analysis
+        .var_kinds
+        .iter()
+        .any(|k| matches!(k, DstVarKind::Position));
+
+    // The copy/write iteration space: the source scan set, extended with a
+    // position variable `p` when the destination stores by rank. `p` is
+    // defined by `p = P(key...)` when the destination carries a reordering
+    // quantifier, else by the source data index.
+    let mut copy_space = scan.set.clone();
+    let p_pos = scan_arity; // tuple position of `p` when present
+    let permutation = match (&dst.order, needs_position) {
+        (_, false) => PermutationKind::Identity,
+        // An unordered destination keeps the source order; when the
+        // source data index enumerates nonzeros densely it doubles as the
+        // rank, otherwise an insertion-ordered permutation compacts the
+        // gaps (padded sources like ELL).
+        (None, true) if src.contiguous_data => PermutationKind::Identity,
+        (None, true) => PermutationKind::Ordered {
+            order: ListOrderSpec::Insertion,
+            width: src.rank,
+        },
+        (Some(key), true) => {
+            if key.dims.len() < 2 {
+                return Err(SynthesisError::DegenerateOrderKey);
+            }
+            PermutationKind::Ordered {
+                order: comparator_spec(&key.comparator),
+                width: key.dims.len(),
+            }
+        }
+    };
+    if needs_position {
+        copy_space = extend_tuple(&copy_space, "p");
+        let def = match &permutation {
+            PermutationKind::Ordered { .. } => {
+                // p = P(key dims over dense coordinates); for an
+                // insertion-ordered permutation the key is simply the
+                // dense coordinate tuple.
+                let args = match &dst.order {
+                    Some(key) => key_exprs(key, &scan.dense_pos),
+                    None => scan
+                        .dense_pos
+                        .iter()
+                        .map(|&pos| LinExpr::var(VarId(pos as u32)))
+                        .collect(),
+                };
+                LinExpr::uf(UfCall::new(PERM_NAME, args))
+            }
+            PermutationKind::Identity => scan.data_index.clone(),
+        };
+        add_eq(&mut copy_space, VarId(p_pos as u32), def);
+    }
+
+    // Maps a destination-tuple expression into the copy space: aliases go
+    // to their dense coordinate's scan position, the position variable to
+    // `p`, find variables to the (single) appended find position.
+    let dst_arity = dst.sparse_to_dense.in_arity() as usize;
+    let find_tuple_pos = copy_space.arity() as usize; // appended by FindSpec
+    let map_dst_expr = |e: &LinExpr| -> LinExpr {
+        e.map_vars(&mut |v: VarId| {
+            let idx = v.index();
+            if idx < dst_arity {
+                match &analysis.var_kinds[idx] {
+                    DstVarKind::DenseAlias(d) => LinExpr::var(VarId(scan.dense_pos[*d] as u32)),
+                    DstVarKind::Position => LinExpr::var(VarId(p_pos as u32)),
+                    DstVarKind::Find { .. } => LinExpr::var(VarId(find_tuple_pos as u32)),
+                }
+            } else {
+                // Dense coordinate.
+                LinExpr::var(VarId(scan.dense_pos[idx - dst_arity] as u32))
+            }
+        })
+    };
+
+    let mut comp = Computation::new();
+    let mut plan = Vec::new();
+    let empty = Set::universe(vec![]);
+
+    // --- Setup: allocations and list declarations -----------------------
+    for w in &analysis.writes {
+        let sig = dst
+            .ufs
+            .get(&w.uf)
+            .ok_or_else(|| SynthesisError::MissingDomainInfo(w.uf.clone()))?;
+        let size = domain_alloc_size(sig)
+            .ok_or_else(|| SynthesisError::MissingDomainInfo(w.uf.clone()))?;
+        comp.add_stmt(Stmt::new(
+            format!("alloc {}", w.uf),
+            Kernel::UfAlloc { uf: w.uf.clone(), size, init: LinExpr::constant(0) },
+            empty.clone(),
+        ));
+    }
+    // Pointer UFs: allocate once per UF, initialized to the range maximum
+    // (the "+infinity" for min updates).
+    let mut ptr_ufs: Vec<String> = analysis.bounds.iter().map(|b| b.uf.clone()).collect();
+    ptr_ufs.sort();
+    ptr_ufs.dedup();
+    for uf in &ptr_ufs {
+        let sig = dst
+            .ufs
+            .get(uf)
+            .ok_or_else(|| SynthesisError::MissingDomainInfo(uf.clone()))?;
+        let size = domain_alloc_size(sig)
+            .ok_or_else(|| SynthesisError::MissingDomainInfo(uf.clone()))?;
+        let init = range_max(sig)
+            .ok_or_else(|| SynthesisError::MissingDomainInfo(uf.clone()))?;
+        comp.add_stmt(Stmt::new(
+            format!("alloc {uf}"),
+            Kernel::UfAlloc { uf: uf.clone(), size, init },
+            empty.clone(),
+        ));
+    }
+    if let PermutationKind::Ordered { order, width } = &permutation {
+        comp.add_stmt(Stmt::new(
+            format!("declare permutation {PERM_NAME}"),
+            Kernel::ListDecl {
+                list: PERM_NAME.into(),
+                width: *width,
+                order: order.clone(),
+                unique: false,
+            },
+            empty.clone(),
+        ));
+    }
+    for m in &analysis.memberships {
+        let sig = dst
+            .ufs
+            .get(&m.uf)
+            .ok_or_else(|| SynthesisError::MissingDomainInfo(m.uf.clone()))?;
+        // Strictly increasing quantifier => sorted unique list.
+        let (order, unique) = match sig.monotonicity {
+            Some(Monotonicity::Increasing) => (ListOrderSpec::Lexicographic, true),
+            Some(Monotonicity::NonDecreasing) => (ListOrderSpec::Lexicographic, false),
+            None => (ListOrderSpec::Insertion, true),
+        };
+        comp.add_stmt(Stmt::new(
+            format!("declare value list for {}", m.uf),
+            Kernel::ListDecl {
+                list: format!("{LIST_PREFIX}{}", m.uf),
+                width: 1,
+                order,
+                unique,
+            },
+            empty.clone(),
+        ));
+    }
+
+    // --- Permutation population (paper: P is processed first) -----------
+    if let PermutationKind::Ordered { .. } = &permutation {
+        plan.push(PERM_NAME.to_string());
+        let args = match &dst.order {
+            Some(key) => key_exprs(key, &scan.dense_pos),
+            None => scan
+                .dense_pos
+                .iter()
+                .map(|&pos| LinExpr::var(VarId(pos as u32)))
+                .collect(),
+        };
+        comp.add_stmt(Stmt::new(
+            format!("insert into {PERM_NAME}"),
+            Kernel::ListInsert { list: PERM_NAME.into(), args },
+            scan.set.clone(),
+        ));
+        comp.add_stmt(Stmt::new(
+            format!("finalize {PERM_NAME} (enforce reordering quantifier)"),
+            Kernel::ListFinalize { list: PERM_NAME.into() },
+            empty.clone(),
+        ));
+    }
+
+    // --- Case 5: collect membership values, materialize, set symbols ----
+    for m in &analysis.memberships {
+        plan.push(m.uf.clone());
+        let list = format!("{LIST_PREFIX}{}", m.uf);
+        comp.add_stmt(Stmt::new(
+            format!("collect values of {}", m.uf),
+            Kernel::ListInsert {
+                list: list.clone(),
+                args: vec![map_dst_expr(&m.value)],
+            },
+            scan.set.clone(),
+        ));
+        comp.add_stmt(Stmt::new(
+            format!("finalize values of {} (enforce monotonic quantifier)", m.uf),
+            Kernel::ListFinalize { list: list.clone() },
+            empty.clone(),
+        ));
+        comp.add_stmt(Stmt::new(
+            format!("materialize {}", m.uf),
+            Kernel::ListToUf { list: list.clone(), dim: 0, uf: m.uf.clone() },
+            empty.clone(),
+        ));
+        // The UF's domain size must be a plain symbol we can now set
+        // (DIA: ND = |off|).
+        let sig = dst.ufs.get(&m.uf).expect("checked above");
+        let size = domain_alloc_size(sig)
+            .ok_or_else(|| SynthesisError::MissingDomainInfo(m.uf.clone()))?;
+        let sym = size
+            .terms
+            .iter()
+            .find_map(|(c, a)| match a {
+                spf_ir::Atom::Sym(s)
+                    if *c == 1 && size.terms.len() == 1 && size.constant == 0 =>
+                {
+                    Some(s.clone())
+                }
+                _ => None,
+            })
+            .ok_or_else(|| SynthesisError::NonSymbolicListLen(m.uf.clone()))?;
+        comp.add_stmt(Stmt::new(
+            format!("set {sym} = |{}|", m.uf),
+            Kernel::SymSetListLen { sym, list },
+            empty.clone(),
+        ));
+    }
+
+    // --- Destination data allocation ------------------------------------
+    comp.add_stmt(Stmt::new(
+        format!("alloc {}", dst.data_name),
+        Kernel::DataAlloc { arr: dst.data_name.clone(), size_factors: dst.data_size.clone() },
+        empty.clone(),
+    ));
+
+    // --- The write + copy loop over the (extended) source scan ----------
+    let find_spec = if let Some(&fv) = find_vars.first() {
+        let DstVarKind::Find { uf } = &analysis.var_kinds[fv] else { unreachable!() };
+        let m = analysis
+            .memberships
+            .iter()
+            .find(|m| m.var == fv)
+            .expect("find var has a membership rule");
+        let sig = dst.ufs.get(uf).expect("checked above");
+        let size = domain_alloc_size(sig)
+            .ok_or_else(|| SynthesisError::MissingDomainInfo(uf.clone()))?;
+        let binary = options.binary_search
+            && sig.monotonicity == Some(Monotonicity::Increasing);
+        Some(FindSpec {
+            var: "d".into(),
+            uf: uf.clone(),
+            lo: LinExpr::constant(0),
+            hi: size,
+            target: map_dst_expr(&m.value),
+            binary,
+        })
+    } else {
+        None
+    };
+
+    for w in &analysis.writes {
+        plan.push(w.uf.clone());
+        let stmt = Stmt::new(
+            format!("populate {}", w.uf),
+            Kernel::UfWrite {
+                uf: w.uf.clone(),
+                idx: map_dst_expr(&w.arg),
+                value: map_dst_expr(&w.value),
+            },
+            copy_space.clone(),
+        );
+        comp.add_stmt(stmt);
+    }
+    for b in &analysis.bounds {
+        if !plan.contains(&b.uf) {
+            plan.push(b.uf.clone());
+        }
+        let kernel = if b.is_min {
+            Kernel::UfMin {
+                uf: b.uf.clone(),
+                idx: map_dst_expr(&b.arg),
+                value: map_dst_expr(&b.value),
+            }
+        } else {
+            Kernel::UfMax {
+                uf: b.uf.clone(),
+                idx: map_dst_expr(&b.arg),
+                // Case 3: uf(arg) >= value  =>  max update with value.
+                value: map_dst_expr(&b.value),
+            }
+        };
+        comp.add_stmt(Stmt::new(
+            format!(
+                "bound {} ({})",
+                b.uf,
+                if b.is_min { "case 2: min" } else { "case 3: max" }
+            ),
+            kernel,
+            copy_space.clone(),
+        ));
+    }
+    plan.push("copy".into());
+    let mut copy_stmt = Stmt::new(
+        "copy data",
+        Kernel::Copy {
+            dst: dst.data_name.clone(),
+            dst_idx: map_dst_expr(&analysis.data_index),
+            src: src.data_name.clone(),
+            src_idx: scan_index_in_copy_space(&scan.data_index),
+        },
+        copy_space.clone(),
+    );
+    if let Some(f) = find_spec {
+        copy_stmt = copy_stmt.with_find(f);
+    }
+    comp.add_stmt(copy_stmt);
+
+    // --- Monotonic quantifier enforcement sweeps ------------------------
+    for uf in &ptr_ufs {
+        let sig = dst.ufs.get(uf).expect("checked above");
+        if sig.monotonicity.is_none() {
+            continue;
+        }
+        // Backward sweep uf[size-2-e] = min(uf[size-2-e], uf[size-1-e])
+        // over e in [0, size-1): repairs entries never min-updated
+        // (empty rows) while preserving populated ones.
+        let size = domain_alloc_size(sig).expect("checked above");
+        let mut sweep_space = Set::universe(vec!["e".into()]);
+        {
+            let conj = &mut sweep_space.conjunctions_mut()[0];
+            conj.add(Constraint::ge(LinExpr::var(VarId(0)), LinExpr::zero()));
+            conj.add(Constraint::lt(
+                LinExpr::var(VarId(0)),
+                size.add(&LinExpr::constant(-1)),
+            ));
+        }
+        let idx = size.add(&LinExpr::constant(-2)).sub(&LinExpr::var(VarId(0)));
+        let next = size.add(&LinExpr::constant(-1)).sub(&LinExpr::var(VarId(0)));
+        comp.add_stmt(Stmt::new(
+            format!("enforce monotonic quantifier on {uf}"),
+            Kernel::UfMin {
+                uf: uf.clone(),
+                idx,
+                value: LinExpr::uf(UfCall::new(uf.clone(), vec![next])),
+            },
+            sweep_space,
+        ));
+    }
+
+    // --- Live-out and optimization ---------------------------------------
+    for uf in dst.uf_names() {
+        comp.mark_live(uf);
+    }
+    comp.mark_live(dst.data_name.clone());
+    for s in &dst.extra_syms {
+        comp.mark_live(s.clone());
+    }
+
+    let naive = comp.clone();
+    let mut identity_eliminated = false;
+    if options.optimize {
+        // Identity-permutation elimination: when the source order implies
+        // the destination order, `P` is the identity — replace its rank
+        // lookups with the source position and let DCE delete the chain.
+        let identity = matches!(&permutation, PermutationKind::Ordered { .. })
+            && src.contiguous_data
+            && match (&src.order, &dst.order) {
+                (Some(s), Some(d)) => s.implies(d),
+                _ => false,
+            };
+        if identity {
+            eliminate_identity_permutation(&mut comp, &scan.data_index);
+            identity_eliminated = true;
+        }
+        spf_optimize(&mut comp);
+    }
+
+    Ok(SynthesizedConversion {
+        src: src.clone(),
+        dst: dst.clone(),
+        composed,
+        analysis,
+        computation: comp,
+        naive,
+        permutation,
+        identity_eliminated,
+        plan,
+    })
+}
+
+/// Rewrites every `p = P(...)` definition to `p = source position`,
+/// leaving the permutation unreferenced so dead-code elimination removes
+/// it — the optimization behind the paper's COO→CSR result.
+fn eliminate_identity_permutation(comp: &mut Computation, src_data_index: &LinExpr) {
+    for stmt in &mut comp.stmts {
+        let arity = stmt.iter_space.tuple().len();
+        for conj in stmt.iter_space.conjunctions_mut() {
+            for c in &mut conj.constraints {
+                if c.mentions_uf(PERM_NAME) {
+                    // The constraint is `p - P(...) = 0` with `p` the last
+                    // tuple position; rebuild it as `p - src_index = 0`.
+                    let p = VarId((arity - 1) as u32);
+                    *c = Constraint::eq(LinExpr::var(p), src_data_index.clone());
+                }
+            }
+        }
+    }
+    // Re-simplify spaces (sort constraints) so structural equality for
+    // fusion still holds across statements.
+    for stmt in &mut comp.stmts {
+        stmt.iter_space.simplify();
+    }
+}
+
+/// The destination order key dims as expressions over the scan tuple.
+fn key_exprs(key: &spf_ir::OrderKey, dense_pos: &[usize]) -> Vec<LinExpr> {
+    key.dims
+        .iter()
+        .map(|d| {
+            let mut e = LinExpr::constant(d.constant);
+            for (dim, c) in d.coeffs.iter().enumerate() {
+                if *c != 0 {
+                    e.add_assign(&LinExpr::var(VarId(dense_pos[dim] as u32)).scaled(*c));
+                }
+            }
+            e
+        })
+        .collect()
+}
+
+fn comparator_spec(c: &Comparator) -> ListOrderSpec {
+    match c {
+        Comparator::Lexicographic => ListOrderSpec::Lexicographic,
+        Comparator::Morton => ListOrderSpec::Morton,
+        Comparator::UserFn(name) => ListOrderSpec::Custom(name.clone()),
+    }
+}
+
+/// The source data index is already expressed over the scan tuple, whose
+/// positions are unchanged inside the copy space (extensions append).
+fn scan_index_in_copy_space(e: &LinExpr) -> LinExpr {
+    e.clone()
+}
+
+/// Appends a fresh tuple variable to a set.
+fn extend_tuple(s: &Set, name: &str) -> Set {
+    let mut tuple = s.tuple().to_vec();
+    tuple.push(name.to_string());
+    let new_arity = tuple.len() as u32;
+    let conjs = s
+        .conjunctions()
+        .iter()
+        .map(|c| {
+            let mut nc = spf_ir::Conjunction::new(new_arity);
+            for e in c.exists() {
+                nc.fresh_exist(e.clone());
+            }
+            // Existing var ids keep their positions: tuple vars 0..n stay,
+            // old existentials shift up by one.
+            let old_arity = s.arity();
+            for con in &c.constraints {
+                nc.add(con.map_vars(&mut |v: VarId| {
+                    if v.0 < old_arity {
+                        LinExpr::var(v)
+                    } else {
+                        LinExpr::var(VarId(v.0 + 1))
+                    }
+                }));
+            }
+            nc
+        })
+        .collect();
+    Set::from_conjunctions(tuple, conjs)
+}
+
+/// Adds the equality `var = def` to every conjunction of a set.
+fn add_eq(s: &mut Set, var: VarId, def: LinExpr) {
+    for conj in s.conjunctions_mut() {
+        conj.add(Constraint::eq(LinExpr::var(var), def.clone()));
+    }
+}

@@ -1,0 +1,26 @@
+//! Runtime sparse containers: the concrete data structures the format
+//! descriptors describe, with validation against the descriptor
+//! invariants, reference conversions (the test oracles for synthesized
+//! code), and per-format SpMV/TTV kernels.
+
+pub mod bcsr;
+pub mod coo;
+pub mod csc;
+pub mod csf;
+pub mod csr;
+pub mod dense;
+pub mod dia;
+pub mod ell;
+pub mod hicoo;
+pub mod mcoo;
+
+pub use bcsr::BcsrMatrix;
+pub use coo::{Coo3Tensor, CooMatrix};
+pub use csc::CscMatrix;
+pub use csf::CsfTensor;
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use dia::DiaMatrix;
+pub use ell::EllMatrix;
+pub use hicoo::HicooTensor;
+pub use mcoo::{MortonCoo3Tensor, MortonCooMatrix};

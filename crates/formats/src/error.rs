@@ -1,0 +1,76 @@
+//! Validation errors shared by all format containers.
+
+use std::fmt;
+
+/// A violated format invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FormatError {
+    /// Parallel arrays have inconsistent lengths.
+    LengthMismatch {
+        /// What was being validated.
+        what: &'static str,
+        /// The observed lengths.
+        lens: Vec<usize>,
+    },
+    /// A coordinate (or offset) lies outside the tensor dimensions.
+    CoordinateOutOfRange {
+        /// The offending coordinates.
+        coords: Vec<i64>,
+        /// The tensor dimensions.
+        dims: Vec<usize>,
+    },
+    /// A pointer array does not start at 0 / end at NNZ.
+    BadPointerEnds {
+        /// What was being validated.
+        what: &'static str,
+        /// First pointer value.
+        first: i64,
+        /// Last pointer value.
+        last: i64,
+        /// Expected final value.
+        nnz: i64,
+    },
+    /// A pointer array is not non-decreasing (its monotonic universal
+    /// quantifier fails).
+    NotMonotonic {
+        /// What was being validated.
+        what: &'static str,
+    },
+    /// An ordering invariant (a reordering universal quantifier) fails.
+    NotSorted {
+        /// What was being validated.
+        what: &'static str,
+    },
+    /// A padding slot holds a nonzero value.
+    NonzeroPadding {
+        /// What was being validated.
+        what: &'static str,
+        /// Row of the offending slot.
+        row: usize,
+        /// Diagonal/slot index of the offending slot.
+        diag: usize,
+    },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::LengthMismatch { what, lens } => {
+                write!(f, "{what}: inconsistent lengths {lens:?}")
+            }
+            FormatError::CoordinateOutOfRange { coords, dims } => {
+                write!(f, "coordinates {coords:?} out of range for dims {dims:?}")
+            }
+            FormatError::BadPointerEnds { what, first, last, nnz } => {
+                write!(f, "{what}: starts at {first}, ends at {last}, expected 0..={nnz}")
+            }
+            FormatError::NotMonotonic { what } => write!(f, "{what}: not non-decreasing"),
+            FormatError::NotSorted { what } => write!(f, "{what}: ordering violated"),
+            FormatError::NonzeroPadding { what, row, diag } => {
+                write!(f, "{what}: nonzero padding at ({row}, {diag})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}

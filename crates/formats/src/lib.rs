@@ -1,0 +1,38 @@
+//! # sparse-formats
+//!
+//! Sparse tensor formats for the CGO 2023 reproduction: the **format
+//! descriptors** of Table 1 (sparse-to-dense maps, data access relations,
+//! UF domains/ranges, and universal quantifiers — both monotonic and
+//! reordering), plus the **runtime containers** those descriptors
+//! describe, with validation, reference conversions (the oracles for
+//! synthesized code), and per-format SpMV/TTV kernels.
+//!
+//! ```
+//! use sparse_formats::containers::{CooMatrix, CsrMatrix};
+//! use sparse_formats::descriptors;
+//!
+//! // The Table-1 descriptor for CSR:
+//! let csr = descriptors::csr();
+//! assert_eq!(csr.uf_names(), vec!["col2", "rowptr"]);
+//! println!("{}", csr.table1_row());
+//!
+//! // And the runtime container it describes:
+//! let coo = CooMatrix::from_triplets(
+//!     2, 2, vec![0, 1], vec![1, 0], vec![1.0, 2.0]).unwrap();
+//! let m = CsrMatrix::from_coo(&coo);
+//! m.validate().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod containers;
+pub mod descriptors;
+pub mod error;
+
+pub use containers::{
+    BcsrMatrix, Coo3Tensor, CooMatrix, CscMatrix, CsfTensor, CsrMatrix, DenseMatrix,
+    DiaMatrix, EllMatrix, HicooTensor, MortonCoo3Tensor, MortonCooMatrix,
+};
+pub use descriptors::{domain_alloc_size, range_max, FormatDescriptor, ScanInfo};
+pub use error::FormatError;

@@ -1,0 +1,293 @@
+//! Total orders on nonzeros: the semantic core of the paper's *reordering
+//! universal quantifiers*.
+//!
+//! Every reordering quantifier in Table 1 of the paper orders the nonzeros
+//! of a format by a key computed from their **dense coordinates**:
+//!
+//! * sorted COO / CSR order nonzeros by `(i, j)` lexicographically,
+//! * CSC by `(j, i)`,
+//! * DIA's `off` array by the diagonal index `j - i`,
+//! * MCOO / MCOO3 by `MORTON(i, j, ...)` — a user-defined comparison
+//!   function.
+//!
+//! [`OrderKey`] captures exactly this: a tuple of affine functions of the
+//! dense coordinates, compared lexicographically or through a user-defined
+//! comparator. Synthesis compares source and destination keys: when the
+//! source order *implies* the destination order, the permutation `P` is the
+//! identity and dead-code elimination removes it (the paper's COO→CSR fast
+//! path).
+
+use std::fmt;
+
+/// An affine function of the dense coordinates: `constant + Σ coeff·dᵢ`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct KeyDim {
+    /// One coefficient per dense dimension.
+    pub coeffs: Vec<i64>,
+    /// Constant offset.
+    pub constant: i64,
+}
+
+impl KeyDim {
+    /// The dense coordinate `d` itself.
+    pub fn coord(dims: usize, d: usize) -> Self {
+        let mut coeffs = vec![0; dims];
+        coeffs[d] = 1;
+        KeyDim { coeffs, constant: 0 }
+    }
+
+    /// An arbitrary affine combination.
+    pub fn affine(coeffs: Vec<i64>, constant: i64) -> Self {
+        KeyDim { coeffs, constant }
+    }
+
+    /// Evaluates the key dimension at a dense coordinate.
+    pub fn eval(&self, coords: &[usize]) -> i64 {
+        debug_assert_eq!(coords.len(), self.coeffs.len());
+        self.constant
+            + self
+                .coeffs
+                .iter()
+                .zip(coords)
+                .map(|(c, x)| c * *x as i64)
+                .sum::<i64>()
+    }
+}
+
+impl fmt::Display for KeyDim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = ["i", "j", "k", "l", "m"];
+        let mut first = true;
+        for (d, c) in self.coeffs.iter().enumerate() {
+            if *c == 0 {
+                continue;
+            }
+            let name = names.get(d).copied().unwrap_or("?");
+            if first {
+                if *c == -1 {
+                    write!(f, "-{name}")?;
+                } else if *c == 1 {
+                    write!(f, "{name}")?;
+                } else {
+                    write!(f, "{c}{name}")?;
+                }
+                first = false;
+            } else if *c < 0 {
+                if *c == -1 {
+                    write!(f, " - {name}")?;
+                } else {
+                    write!(f, " - {}{name}", -c)?;
+                }
+            } else if *c == 1 {
+                write!(f, " + {name}")?;
+            } else {
+                write!(f, " + {c}{name}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+/// How the tuple of [`KeyDim`] values is compared.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Comparator {
+    /// Lexicographic comparison of the key tuple.
+    Lexicographic,
+    /// Morton (Z-order) comparison: compare bit-interleavings of the key
+    /// tuple. This is the paper's `MORTON` user-defined function.
+    Morton,
+    /// A named user-defined comparison function; the runtime must provide
+    /// its implementation (the paper requires full definitions for
+    /// functions appearing only in universal quantifiers).
+    UserFn(String),
+}
+
+impl fmt::Display for Comparator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Comparator::Lexicographic => write!(f, "LEX"),
+            Comparator::Morton => write!(f, "MORTON"),
+            Comparator::UserFn(name) => write!(f, "{name}"),
+        }
+    }
+}
+
+/// The total order a format imposes on its nonzeros, as a function of
+/// their dense coordinates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OrderKey {
+    /// Comparison semantics.
+    pub comparator: Comparator,
+    /// Key tuple, evaluated per nonzero from its dense coordinates.
+    pub dims: Vec<KeyDim>,
+}
+
+impl OrderKey {
+    /// Lexicographic order over the listed key dimensions.
+    pub fn lex(dims: Vec<KeyDim>) -> Self {
+        OrderKey { comparator: Comparator::Lexicographic, dims }
+    }
+
+    /// Row-major (`i`, `j`, ...) lexicographic order over `rank` dense
+    /// dimensions.
+    pub fn row_major(rank: usize) -> Self {
+        OrderKey::lex((0..rank).map(|d| KeyDim::coord(rank, d)).collect())
+    }
+
+    /// Morton (Z-order) over the dense coordinates.
+    pub fn morton(rank: usize) -> Self {
+        OrderKey {
+            comparator: Comparator::Morton,
+            dims: (0..rank).map(|d| KeyDim::coord(rank, d)).collect(),
+        }
+    }
+
+    /// Returns `true` when data sorted by `self` is necessarily also sorted
+    /// by `other`.
+    ///
+    /// The check is syntactic but sound: identical keys imply each other,
+    /// and for lexicographic comparisons a key implies any *prefix* of
+    /// itself. Morton/user-defined orders imply only themselves. A `false`
+    /// result merely means a permutation must be synthesized.
+    pub fn implies(&self, other: &OrderKey) -> bool {
+        if self.comparator != other.comparator {
+            return false;
+        }
+        match self.comparator {
+            Comparator::Lexicographic => {
+                other.dims.len() <= self.dims.len()
+                    && self.dims[..other.dims.len()] == other.dims[..]
+            }
+            Comparator::Morton | Comparator::UserFn(_) => self.dims == other.dims,
+        }
+    }
+
+    /// Renders the paper's reordering-quantifier notation, e.g.
+    /// `forall n1, n2 : n1 < n2 <=> MORTON(row(n1), col(n1)) < MORTON(row(n2), col(n2))`.
+    pub fn quantifier_text(&self, coord_ufs: &[String]) -> String {
+        let render = |v: &str| -> String {
+            let args: Vec<String> = self
+                .dims
+                .iter()
+                .map(|d| {
+                    // Substitute each dense coordinate with its UF applied
+                    // to the position variable where the key is a plain
+                    // coordinate; otherwise print the affine form over the
+                    // coordinate UFs.
+                    let mut parts = Vec::new();
+                    for (k, c) in d.coeffs.iter().enumerate() {
+                        if *c == 0 {
+                            continue;
+                        }
+                        let base = coord_ufs
+                            .get(k)
+                            .map(|u| format!("{u}({v})"))
+                            .unwrap_or_else(|| format!("d{k}({v})"));
+                        match *c {
+                            1 => parts.push(base),
+                            -1 => parts.push(format!("-{base}")),
+                            c => parts.push(format!("{c}*{base}")),
+                        }
+                    }
+                    let mut s = parts.join(" + ").replace("+ -", "- ");
+                    if d.constant != 0 {
+                        s.push_str(&format!(" + {}", d.constant));
+                    }
+                    if s.is_empty() {
+                        s = d.constant.to_string();
+                    }
+                    s
+                })
+                .collect();
+            match &self.comparator {
+                Comparator::Lexicographic => format!("({})", args.join(", ")),
+                Comparator::Morton => format!("MORTON({})", args.join(", ")),
+                Comparator::UserFn(f) => format!("{f}({})", args.join(", ")),
+            }
+        };
+        format!(
+            "forall n1, n2 : n1 < n2 <=> {} < {}",
+            render("n1"),
+            render("n2")
+        )
+    }
+}
+
+impl fmt::Display for OrderKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.comparator)?;
+        for (k, d) in self.dims.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_implies_prefix() {
+        let rm = OrderKey::row_major(2);
+        let row_only = OrderKey::lex(vec![KeyDim::coord(2, 0)]);
+        assert!(rm.implies(&row_only));
+        assert!(!row_only.implies(&rm));
+        assert!(rm.implies(&rm));
+    }
+
+    #[test]
+    fn csc_not_implied_by_row_major() {
+        let rm = OrderKey::row_major(2);
+        let cm = OrderKey::lex(vec![KeyDim::coord(2, 1), KeyDim::coord(2, 0)]);
+        assert!(!rm.implies(&cm));
+        assert!(!cm.implies(&rm));
+    }
+
+    #[test]
+    fn morton_implies_only_itself() {
+        let m2 = OrderKey::morton(2);
+        let rm = OrderKey::row_major(2);
+        assert!(m2.implies(&m2));
+        assert!(!m2.implies(&rm));
+        assert!(!rm.implies(&m2));
+        let m3 = OrderKey::morton(3);
+        assert!(!m2.implies(&m3));
+    }
+
+    #[test]
+    fn key_dim_eval() {
+        // j - i at (i=3, j=10) is 7.
+        let d = KeyDim::affine(vec![-1, 1], 0);
+        assert_eq!(d.eval(&[3, 10]), 7);
+        assert_eq!(KeyDim::coord(2, 0).eval(&[3, 10]), 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        let dia = OrderKey::lex(vec![KeyDim::affine(vec![-1, 1], 0)]);
+        assert_eq!(dia.to_string(), "LEX[-i + j]");
+        let m = OrderKey::morton(2);
+        assert_eq!(m.to_string(), "MORTON[i, j]");
+    }
+
+    #[test]
+    fn quantifier_text_matches_paper() {
+        let m = OrderKey::morton(2);
+        let t = m.quantifier_text(&["row_m".into(), "col_m".into()]);
+        assert_eq!(
+            t,
+            "forall n1, n2 : n1 < n2 <=> MORTON(row_m(n1), col_m(n1)) < MORTON(row_m(n2), col_m(n2))"
+        );
+    }
+}

@@ -1,0 +1,661 @@
+//! Recursive-descent parser for the IEGenLib-style surface syntax.
+//!
+//! Accepted forms:
+//!
+//! ```text
+//! { [i, j] : 0 <= i < N && 0 <= j < M }
+//! { [n, ii, jj] -> [i, j] : row1(n) = i && col1(n) = j && ii = i && jj = j }
+//! { [i] : exists(e) : e = i + 1 && e < N }
+//! { [i] : i = 0 } union { [i] : i = 5 }
+//! ```
+//!
+//! Comparison chains (`0 <= i < N`) expand to one constraint per adjacent
+//! pair. Strict comparisons are normalized to non-strict integer form at
+//! construction (see [`Constraint`]).
+
+use std::fmt;
+
+use crate::constraint::Constraint;
+use crate::expr::{LinExpr, UfCall, VarId};
+use crate::formula::{Conjunction, Relation, Set};
+
+/// Error produced by the parser, with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error in the source text.
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type PResult<T> = Result<T, ParseError>;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+    Arrow,
+    AndAnd,
+    Plus,
+    Minus,
+    Star,
+    Le,
+    Lt,
+    Ge,
+    Gt,
+    EqEq,
+    Int(i64),
+    Ident(String),
+    KwUnion,
+    KwExists,
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0 }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        Err(ParseError { pos: self.pos, msg: msg.into() })
+    }
+
+    fn next_tok(&mut self) -> PResult<(usize, Tok)> {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        let start = self.pos;
+        if self.pos >= self.src.len() {
+            return Ok((start, Tok::Eof));
+        }
+        let b = self.src[self.pos];
+        let tok = match b {
+            b'{' => {
+                self.pos += 1;
+                Tok::LBrace
+            }
+            b'}' => {
+                self.pos += 1;
+                Tok::RBrace
+            }
+            b'[' => {
+                self.pos += 1;
+                Tok::LBracket
+            }
+            b']' => {
+                self.pos += 1;
+                Tok::RBracket
+            }
+            b'(' => {
+                self.pos += 1;
+                Tok::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Tok::RParen
+            }
+            b',' => {
+                self.pos += 1;
+                Tok::Comma
+            }
+            b':' => {
+                self.pos += 1;
+                Tok::Colon
+            }
+            b'+' => {
+                self.pos += 1;
+                Tok::Plus
+            }
+            b'*' => {
+                self.pos += 1;
+                Tok::Star
+            }
+            b'-' => {
+                self.pos += 1;
+                if self.peek_byte() == Some(b'>') {
+                    self.pos += 1;
+                    Tok::Arrow
+                } else {
+                    Tok::Minus
+                }
+            }
+            b'&' => {
+                self.pos += 1;
+                if self.peek_byte() == Some(b'&') {
+                    self.pos += 1;
+                    Tok::AndAnd
+                } else {
+                    return self.err("expected `&&`");
+                }
+            }
+            b'<' => {
+                self.pos += 1;
+                if self.peek_byte() == Some(b'=') {
+                    self.pos += 1;
+                    Tok::Le
+                } else {
+                    Tok::Lt
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.peek_byte() == Some(b'=') {
+                    self.pos += 1;
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            b'=' => {
+                self.pos += 1;
+                if self.peek_byte() == Some(b'=') {
+                    self.pos += 1;
+                }
+                Tok::EqEq
+            }
+            b'0'..=b'9' => {
+                let mut v: i64 = 0;
+                while let Some(d @ b'0'..=b'9') = self.peek_byte() {
+                    v = v
+                        .checked_mul(10)
+                        .and_then(|x| x.checked_add((d - b'0') as i64))
+                        .ok_or(ParseError {
+                            pos: start,
+                            msg: "integer literal overflows i64".into(),
+                        })?;
+                    self.pos += 1;
+                }
+                Tok::Int(v)
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                while matches!(
+                    self.peek_byte(),
+                    Some(b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_' | b'\'')
+                ) {
+                    self.pos += 1;
+                }
+                let word = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                match word {
+                    "union" => Tok::KwUnion,
+                    "exists" => Tok::KwExists,
+                    _ => Tok::Ident(word.to_string()),
+                }
+            }
+            other => {
+                return self.err(format!("unexpected character `{}`", other as char));
+            }
+        };
+        Ok((start, tok))
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    idx: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RelOp {
+    Le,
+    Lt,
+    Ge,
+    Gt,
+    Eq,
+}
+
+impl Parser {
+    fn new(src: &str) -> PResult<Self> {
+        let mut lx = Lexer::new(src);
+        let mut toks = Vec::new();
+        loop {
+            let (p, t) = lx.next_tok()?;
+            let done = t == Tok::Eof;
+            toks.push((p, t));
+            if done {
+                break;
+            }
+        }
+        Ok(Parser { toks, idx: 0 })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.idx].1
+    }
+
+    fn pos(&self) -> usize {
+        self.toks[self.idx].0
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.idx].1.clone();
+        if self.idx + 1 < self.toks.len() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> PResult<()> {
+        if self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(ParseError {
+                pos: self.pos(),
+                msg: format!("expected {what}, found {:?}", self.peek()),
+            })
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> PResult<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(ParseError {
+                pos: self.pos(),
+                msg: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn ident_list(&mut self) -> PResult<Vec<String>> {
+        let mut out = vec![self.ident("identifier")?];
+        while self.peek() == &Tok::Comma {
+            self.bump();
+            out.push(self.ident("identifier")?);
+        }
+        Ok(out)
+    }
+
+    fn tuple(&mut self) -> PResult<Vec<String>> {
+        self.expect(&Tok::LBracket, "`[`")?;
+        if self.peek() == &Tok::RBracket {
+            self.bump();
+            return Ok(Vec::new());
+        }
+        let ids = self.ident_list()?;
+        self.expect(&Tok::RBracket, "`]`")?;
+        Ok(ids)
+    }
+
+    /// Parses one `{ ... }` formula; returns tuples and the conjunction.
+    fn formula(&mut self) -> PResult<(Vec<String>, Option<Vec<String>>, Conjunction)> {
+        self.expect(&Tok::LBrace, "`{`")?;
+        let in_tuple = self.tuple()?;
+        let out_tuple = if self.peek() == &Tok::Arrow {
+            self.bump();
+            Some(self.tuple()?)
+        } else {
+            None
+        };
+        let arity = (in_tuple.len() + out_tuple.as_ref().map_or(0, Vec::len)) as u32;
+        let mut conj = Conjunction::new(arity);
+        let mut scope: Vec<String> = in_tuple.clone();
+        if let Some(o) = &out_tuple {
+            scope.extend(o.iter().cloned());
+        }
+        if self.peek() == &Tok::Colon {
+            self.bump();
+            if self.peek() == &Tok::KwExists {
+                self.bump();
+                self.expect(&Tok::LParen, "`(`")?;
+                let names = self.ident_list()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                self.expect(&Tok::Colon, "`:`")?;
+                for n in names {
+                    conj.fresh_exist(n.clone());
+                    scope.push(n);
+                }
+            }
+            self.constraints(&mut conj, &scope)?;
+        }
+        self.expect(&Tok::RBrace, "`}`")?;
+        Ok((in_tuple, out_tuple, conj))
+    }
+
+    fn constraints(&mut self, conj: &mut Conjunction, scope: &[String]) -> PResult<()> {
+        loop {
+            self.chain(conj, scope)?;
+            if self.peek() == &Tok::AndAnd {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn relop(&mut self) -> Option<RelOp> {
+        let op = match self.peek() {
+            Tok::Le => RelOp::Le,
+            Tok::Lt => RelOp::Lt,
+            Tok::Ge => RelOp::Ge,
+            Tok::Gt => RelOp::Gt,
+            Tok::EqEq => RelOp::Eq,
+            _ => return None,
+        };
+        self.bump();
+        Some(op)
+    }
+
+    fn chain(&mut self, conj: &mut Conjunction, scope: &[String]) -> PResult<()> {
+        let mut lhs = self.expr(scope)?;
+        let mut count = 0;
+        while let Some(op) = self.relop() {
+            let rhs = self.expr(scope)?;
+            let c = match op {
+                RelOp::Le => Constraint::le(lhs.clone(), rhs.clone()),
+                RelOp::Lt => Constraint::lt(lhs.clone(), rhs.clone()),
+                RelOp::Ge => Constraint::ge(lhs.clone(), rhs.clone()),
+                RelOp::Gt => Constraint::gt(lhs.clone(), rhs.clone()),
+                RelOp::Eq => Constraint::eq(lhs.clone(), rhs.clone()),
+            };
+            conj.add(c);
+            lhs = rhs;
+            count += 1;
+        }
+        if count == 0 {
+            return Err(ParseError {
+                pos: self.pos(),
+                msg: "expected a comparison operator".into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn expr(&mut self, scope: &[String]) -> PResult<LinExpr> {
+        let mut acc = self.term(scope)?;
+        loop {
+            match self.peek() {
+                Tok::Plus => {
+                    self.bump();
+                    let t = self.term(scope)?;
+                    acc.add_assign(&t);
+                }
+                Tok::Minus => {
+                    self.bump();
+                    let t = self.term(scope)?;
+                    acc.add_assign(&t.scaled(-1));
+                }
+                _ => break,
+            }
+        }
+        Ok(acc)
+    }
+
+    fn term(&mut self, scope: &[String]) -> PResult<LinExpr> {
+        let mut acc = self.factor(scope)?;
+        while self.peek() == &Tok::Star {
+            self.bump();
+            let rhs = self.factor(scope)?;
+            acc = match (acc.as_constant(), rhs.as_constant()) {
+                (Some(c), _) => rhs.scaled(c),
+                (_, Some(c)) => acc.scaled(c),
+                // Products of non-constant factors (e.g. `ND * ii`)
+                // become opaque product atoms.
+                _ => acc.mul_expr(&rhs),
+            };
+        }
+        Ok(acc)
+    }
+
+    fn factor(&mut self, scope: &[String]) -> PResult<LinExpr> {
+        match self.bump() {
+            Tok::Int(v) => Ok(LinExpr::constant(v)),
+            Tok::Minus => Ok(self.factor(scope)?.scaled(-1)),
+            Tok::LParen => {
+                let e = self.expr(scope)?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if self.peek() == &Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() != &Tok::RParen {
+                        args.push(self.expr(scope)?);
+                        while self.peek() == &Tok::Comma {
+                            self.bump();
+                            args.push(self.expr(scope)?);
+                        }
+                    }
+                    self.expect(&Tok::RParen, "`)`")?;
+                    Ok(LinExpr::uf(UfCall::new(name, args)))
+                } else if let Some(k) = scope.iter().position(|s| *s == name) {
+                    Ok(LinExpr::var(VarId(k as u32)))
+                } else {
+                    Ok(LinExpr::sym(name))
+                }
+            }
+            other => Err(ParseError {
+                pos: self.pos(),
+                msg: format!("expected an expression, found {other:?}"),
+            }),
+        }
+    }
+
+    fn at_eof(&self) -> bool {
+        self.peek() == &Tok::Eof
+    }
+}
+
+/// Parses a set, e.g. `{ [i, j] : 0 <= i < N && 0 <= j < M }`, including
+/// unions of such formulas.
+pub fn parse_set(src: &str) -> PResult<Set> {
+    let mut p = Parser::new(src)?;
+    let mut set: Option<Set> = None;
+    loop {
+        let (tuple, out, conj) = p.formula()?;
+        if out.is_some() {
+            return Err(ParseError {
+                pos: p.pos(),
+                msg: "expected a set, found a relation (`->`)".into(),
+            });
+        }
+        let this = Set::from_conjunctions(tuple, vec![conj]);
+        set = Some(match set {
+            None => this,
+            Some(s) => {
+                if s.arity() != this.arity() {
+                    return Err(ParseError {
+                        pos: p.pos(),
+                        msg: "union members have different arities".into(),
+                    });
+                }
+                s.union(this)
+            }
+        });
+        if p.peek() == &Tok::KwUnion {
+            p.bump();
+        } else {
+            break;
+        }
+    }
+    if !p.at_eof() {
+        return Err(ParseError {
+            pos: p.pos(),
+            msg: "trailing input after formula".into(),
+        });
+    }
+    Ok(set.expect("at least one formula"))
+}
+
+/// Parses a relation, e.g. `{ [n] -> [i, j] : row(n) = i && col(n) = j }`,
+/// including unions.
+pub fn parse_relation(src: &str) -> PResult<Relation> {
+    let mut p = Parser::new(src)?;
+    let mut rel: Option<Relation> = None;
+    loop {
+        let (in_tuple, out, conj) = p.formula()?;
+        let Some(out_tuple) = out else {
+            return Err(ParseError {
+                pos: p.pos(),
+                msg: "expected a relation (`->`), found a set".into(),
+            });
+        };
+        let this = Relation::from_conjunctions(in_tuple, out_tuple, vec![conj]);
+        rel = Some(match rel {
+            None => this,
+            Some(mut r) => {
+                if r.in_arity() != this.in_arity() || r.out_arity() != this.out_arity() {
+                    return Err(ParseError {
+                        pos: p.pos(),
+                        msg: "union members have different arities".into(),
+                    });
+                }
+                r.conjunctions_mut().extend(this.conjunctions().iter().cloned());
+                r
+            }
+        });
+        if p.peek() == &Tok::KwUnion {
+            p.bump();
+        } else {
+            break;
+        }
+    }
+    if !p.at_eof() {
+        return Err(ParseError {
+            pos: p.pos(),
+            msg: "trailing input after formula".into(),
+        });
+    }
+    Ok(rel.expect("at least one formula"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_rectangle_set() {
+        let s = parse_set("{ [i, j] : 0 <= i < N && 0 <= j < M }").unwrap();
+        assert_eq!(s.tuple(), &["i", "j"]);
+        assert_eq!(s.conjunctions().len(), 1);
+        assert_eq!(s.conjunctions()[0].constraints.len(), 4);
+    }
+
+    #[test]
+    fn parses_csr_iteration_space() {
+        let s = parse_set(
+            "{ [i, k, j] : 0 <= i < N && rowptr(i) <= k < rowptr(i + 1) && j = col(k) }",
+        )
+        .unwrap();
+        let c = &s.conjunctions()[0];
+        assert!(c.constraints.iter().any(|x| x.mentions_uf("rowptr")));
+        assert!(c.constraints.iter().any(|x| x.mentions_uf("col")));
+        // The chain rowptr(i) <= k < rowptr(i+1) yields two constraints.
+        assert_eq!(c.constraints.len(), 5);
+    }
+
+    #[test]
+    fn parses_relation_with_ufs() {
+        let r = parse_relation(
+            "{ [n, ii, jj] -> [i, j] : row1(n) = i && col1(n) = j && ii = i && jj = j \
+             && 0 <= i < NR && 0 <= j < NC && 0 <= n < NNZ }",
+        )
+        .unwrap();
+        assert_eq!(r.in_tuple(), &["n", "ii", "jj"]);
+        assert_eq!(r.out_tuple(), &["i", "j"]);
+    }
+
+    #[test]
+    fn parses_exists_clause() {
+        let s = parse_set("{ [i] : exists(e) : e = i + 1 && e < N }").unwrap();
+        assert_eq!(s.conjunctions()[0].exists(), &["e"]);
+    }
+
+    #[test]
+    fn parses_union() {
+        let s = parse_set("{ [i] : i = 0 } union { [i] : i = 5 }").unwrap();
+        assert_eq!(s.conjunctions().len(), 2);
+    }
+
+    #[test]
+    fn scalar_multiplication_and_parens() {
+        let s = parse_set("{ [i, d] : 2 * i + 3 <= ND * 2 && (i - d) * 4 = 0 }");
+        // `ND * 2` is linear (symbol times constant); `(i-d)*4` too.
+        assert!(s.is_ok(), "{s:?}");
+    }
+
+    #[test]
+    fn nonconstant_products_parse_as_opaque_atoms() {
+        // `ND * ii` (DIA's data access) parses to a product atom.
+        let s = parse_set("{ [ii, d, kd] : kd = ND * ii + d }").unwrap();
+        let c = &s.conjunctions()[0].constraints[0];
+        assert!(c
+            .expr()
+            .terms
+            .iter()
+            .any(|(_, a)| matches!(a, crate::expr::Atom::Prod(_))));
+        // Round-trips through display.
+        let back = parse_set(&s.to_string()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn rejects_relation_where_set_expected() {
+        assert!(parse_set("{ [i] -> [j] : j = i }").is_err());
+        assert!(parse_relation("{ [i] : i = 0 }").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_set("{ [i] : i = 0 } zzz").is_err());
+    }
+
+    #[test]
+    fn print_parse_round_trip_set() {
+        let src = "{ [i, k, j] : 0 <= i < N && rowptr(i) <= k < rowptr(i + 1) && j = col(k) }";
+        let mut a = parse_set(src).unwrap();
+        a.simplify();
+        let mut b = parse_set(&a.to_string()).unwrap();
+        b.simplify();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn print_parse_round_trip_relation() {
+        let src = "{ [n, ii, jj] -> [i, j] : row1(n) = i && col1(n) = j && ii = i \
+                   && jj = j && 0 <= i < NR && 0 <= j < NC && 0 <= n < NNZ }";
+        let mut a = parse_relation(src).unwrap();
+        a.simplify();
+        let mut b = parse_relation(&a.to_string()).unwrap();
+        b.simplify();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nested_uf_calls() {
+        let s = parse_set("{ [n] : P(row(n), col(n)) = n }").unwrap();
+        assert!(s.conjunctions()[0].constraints[0].mentions_uf("P"));
+        assert!(s.conjunctions()[0].constraints[0].mentions_uf("row"));
+    }
+
+    #[test]
+    fn double_equals_accepted() {
+        let a = parse_set("{ [i] : i == 3 }").unwrap();
+        let b = parse_set("{ [i] : i = 3 }").unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,199 @@
+//! Variable projection via substitution and Fourier–Motzkin elimination.
+//!
+//! In the sparse polyhedral setting, a variable may occur inside the
+//! arguments of an uninterpreted function; such occurrences cannot be
+//! eliminated symbolically. Projection is still always *sound* here because
+//! eliminating a tuple variable just demotes it to an existential; the
+//! elimination below is an optimization that removes the existential when
+//! equalities or unit-coefficient inequalities allow.
+
+use crate::constraint::{classify_for_var, Constraint};
+use crate::expr::{LinExpr, VarId};
+use crate::formula::{Conjunction, Set};
+
+/// Attempts to eliminate existential variable `v` from `conj`.
+///
+/// Returns `true` when the variable no longer occurs (it was eliminated via
+/// an equality or exact Fourier–Motzkin); `false` when it must remain as an
+/// existential (it occurs inside a UF argument or with non-unit
+/// coefficients).
+pub fn eliminate_existential(conj: &mut Conjunction, v: VarId) -> bool {
+    // Equality substitution is handled by `Conjunction::simplify`; here we
+    // handle the pure-inequality case with unit coefficients, which is
+    // exact over the integers.
+    let (lower, upper, eqs, opaque) = classify_for_var(&conj.constraints, v);
+    if !eqs.is_empty() || !opaque.is_empty() {
+        return false;
+    }
+    if lower.is_empty() && upper.is_empty() {
+        return true; // v is unconstrained; nothing mentions it.
+    }
+    let unit = lower
+        .iter()
+        .chain(upper.iter())
+        .all(|c| c.expr().coeff_of_var(v).abs() == 1);
+    if !unit {
+        return false;
+    }
+    let mut kept: Vec<Constraint> = conj
+        .constraints
+        .iter()
+        .filter(|c| !c.uses_var(v))
+        .cloned()
+        .collect();
+    // For every (lower, upper) pair: lo: v >= L  (expr = v - L >= 0),
+    // up: v <= U (expr = U - v >= 0); combining gives U - L >= 0.
+    for lo in &lower {
+        for up in &upper {
+            let combined = lo.expr().add(up.expr());
+            debug_assert_eq!(combined.coeff_of_var(v), 0);
+            kept.push(Constraint::Geq(combined));
+        }
+    }
+    conj.constraints = kept;
+    true
+}
+
+/// Projects out the tuple variable at position `pos`, returning a set over
+/// the remaining tuple. The variable is eliminated when possible and kept
+/// as an existential otherwise (which is still an exact projection).
+pub fn project_out(set: &Set, pos: usize) -> Set {
+    assert!(pos < set.arity() as usize, "projection position out of range");
+    let mut tuple = set.tuple().to_vec();
+    let removed_name = tuple.remove(pos);
+    let new_arity = tuple.len() as u32;
+    let mut out = Vec::new();
+    for c in set.conjunctions() {
+        let mut nc = Conjunction::new(new_arity);
+        // New existential order: old existentials first, then the demoted
+        // tuple variable last.
+        for name in c.exists() {
+            nc.fresh_exist(name.clone());
+        }
+        let demoted = nc.fresh_exist(removed_name.clone());
+        let old_arity = set.arity();
+        for con in &c.constraints {
+            nc.add(con.map_vars(&mut |v: VarId| {
+                let id = if v.0 as usize == pos {
+                    demoted
+                } else if (v.0 as usize) < pos {
+                    v
+                } else if v.0 < old_arity {
+                    VarId(v.0 - 1)
+                } else {
+                    // existential: shift down by one (tuple shrank) keeping
+                    // relative order before `demoted`.
+                    VarId(v.0 - 1)
+                };
+                LinExpr::var(id)
+            }));
+        }
+        if !nc.simplify() {
+            continue;
+        }
+        // `simplify` may have eliminated `demoted` via an equality; if not,
+        // try Fourier–Motzkin on whatever existential still carries its
+        // name. FM can expose a contradiction, so re-simplify.
+        let mut sat = true;
+        if let Some(k) = nc.exists().iter().position(|n| *n == removed_name) {
+            let vv = VarId(new_arity + k as u32);
+            if eliminate_existential(&mut nc, vv) {
+                sat = nc.simplify();
+            }
+        }
+        if sat {
+            out.push(nc);
+        }
+    }
+    Set::from_conjunctions(tuple, out)
+}
+
+/// Projects the set down to exactly the tuple positions in `keep`
+/// (in the given order). Positions not listed are projected out.
+pub fn project_onto(set: &Set, keep: &[usize]) -> Set {
+    assert!(
+        keep.windows(2).all(|w| w[0] < w[1]),
+        "keep positions must be strictly increasing"
+    );
+    let mut s = set.clone();
+    // Remove from the highest position down so indices stay valid.
+    let all: Vec<usize> = (0..set.arity() as usize).collect();
+    for pos in all.into_iter().rev() {
+        if !keep.contains(&pos) {
+            s = project_out(&s, pos);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_set;
+
+    #[test]
+    fn project_rectangle_to_interval() {
+        let s = parse_set("{ [i, j] : 0 <= i < N && 0 <= j < M }").unwrap();
+        let mut p = project_out(&s, 1);
+        p.simplify();
+        assert_eq!(p.tuple(), &["i"]);
+        let c = &p.conjunctions()[0];
+        assert!(c.exists().is_empty(), "j should be fully eliminated: {c:?}");
+        // 0 <= i < N plus the residual feasibility fact M >= 1.
+        assert_eq!(c.constraints.len(), 3);
+    }
+
+    #[test]
+    fn fm_combines_bounds() {
+        // {[i, j] : i <= j <= i + 5} projected on i: no residual constraint
+        // except 0 <= 5 (tautology) — i unconstrained.
+        let s = parse_set("{ [i, j] : i <= j && j <= i + 5 }").unwrap();
+        let mut p = project_out(&s, 1);
+        p.simplify();
+        assert!(p.conjunctions()[0].constraints.is_empty());
+    }
+
+    #[test]
+    fn fm_exposes_transitive_bound() {
+        // {[i, j] : 0 <= j && j < i} projected on i gives i >= 1.
+        let s = parse_set("{ [i, j] : 0 <= j && j < i }").unwrap();
+        let mut p = project_out(&s, 1);
+        p.simplify();
+        let c = &p.conjunctions()[0];
+        assert_eq!(c.constraints.len(), 1);
+        let names = p.names_for(0);
+        assert_eq!(
+            c.constraints[0].display_with(&names).to_string(),
+            "i >= 1"
+        );
+    }
+
+    #[test]
+    fn equality_defined_var_is_projected_by_substitution() {
+        let s = parse_set("{ [k, j] : j = col(k) && 0 <= k < NNZ && j < NC }").unwrap();
+        let mut p = project_out(&s, 1);
+        p.simplify();
+        assert_eq!(p.tuple(), &["k"]);
+        let c = &p.conjunctions()[0];
+        assert!(c.exists().is_empty());
+        // Residual: 0 <= k < NNZ && col(k) < NC.
+        assert!(c.constraints.iter().any(|x| x.mentions_uf("col")));
+    }
+
+    #[test]
+    fn var_inside_uf_arg_stays_existential() {
+        let s = parse_set("{ [k, j] : f(j) = k && 0 <= j }").unwrap();
+        let p = project_out(&s, 1);
+        let c = &p.conjunctions()[0];
+        assert_eq!(c.exists(), &["j"]);
+    }
+
+    #[test]
+    fn project_onto_keeps_selected_positions() {
+        let s =
+            parse_set("{ [a, b, c] : 0 <= a < N && 0 <= b < N && c = a + b }").unwrap();
+        let mut p = project_onto(&s, &[0]);
+        p.simplify();
+        assert_eq!(p.tuple(), &["a"]);
+    }
+}

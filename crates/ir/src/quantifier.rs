@@ -1,0 +1,282 @@
+//! Parsing the paper's universal-quantifier notation.
+//!
+//! Descriptors print their quantifiers in the Table-1 style —
+//!
+//! ```text
+//! forall e1, e2 : e1 <= e2 <=> rowptr(e1) <= rowptr(e2)
+//! forall n1, n2 : n1 < n2 <=> MORTON(row(n1), col(n1)) < MORTON(row(n2), col(n2))
+//! ```
+//!
+//! — and this module parses that notation back into its semantic form: a
+//! [`Monotonicity`] property on a single UF, or a *reordering* quantifier
+//! naming a comparison function over per-position coordinate UFs.
+
+use std::fmt;
+
+use crate::uf::Monotonicity;
+
+/// A parsed universal quantifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsedQuantifier {
+    /// `forall e1, e2 : e1 (<|<=) e2 <=> uf(e1) (<|<=) uf(e2)` — an
+    /// index-array property local to one UF.
+    Monotonic {
+        /// The constrained UF.
+        uf: String,
+        /// Strict (`Increasing`) or non-strict (`NonDecreasing`).
+        monotonicity: Monotonicity,
+    },
+    /// `forall n1, n2 : n1 < n2 <=> F(g1(n1), ...) < F(g1(n2), ...)` — a
+    /// total order on the stored nonzeros (the paper's unique
+    /// contribution). `comparator` is `F` (e.g. `MORTON`); when the
+    /// comparison is plain lexicographic the keys appear as a tuple.
+    Reordering {
+        /// Comparison function name; `None` for a bare lexicographic
+        /// tuple.
+        comparator: Option<String>,
+        /// The per-position coordinate UFs, in key order.
+        coord_ufs: Vec<String>,
+    },
+}
+
+/// Error from quantifier parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantifierParseError {
+    /// Description of the failure.
+    pub msg: String,
+}
+
+impl fmt::Display for QuantifierParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "quantifier parse error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for QuantifierParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, QuantifierParseError> {
+    Err(QuantifierParseError { msg: msg.into() })
+}
+
+/// Splits `s` on the first occurrence of `sep` outside parentheses.
+fn split_top(s: &str, sep: &str) -> Option<(String, String)> {
+    let bytes = s.as_bytes();
+    let mut depth = 0i32;
+    let mut k = 0;
+    while k + sep.len() <= bytes.len() {
+        match bytes[k] {
+            b'(' => depth += 1,
+            b')' => depth -= 1,
+            _ => {}
+        }
+        if depth == 0 && s[k..].starts_with(sep) {
+            return Some((s[..k].to_string(), s[k + sep.len()..].to_string()));
+        }
+        k += 1;
+    }
+    None
+}
+
+/// A side of the conclusion: `name(args...)` with args either bare
+/// quantified variables or nested single-argument calls `g(var)`.
+fn parse_side(s: &str, var: &str) -> Result<(String, Vec<String>), QuantifierParseError> {
+    let s = s.trim();
+    let open = match s.find('(') {
+        Some(k) => k,
+        None => return err(format!("expected a call, found `{s}`")),
+    };
+    if !s.ends_with(')') {
+        return err(format!("unbalanced call in `{s}`"));
+    }
+    let name = s[..open].trim().to_string();
+    let inner = &s[open + 1..s.len() - 1];
+    // Split args at top-level commas.
+    let mut args = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (k, ch) in inner.char_indices() {
+        match ch {
+            '(' => depth += 1,
+            ')' => depth -= 1,
+            ',' if depth == 0 => {
+                args.push(inner[start..k].trim().to_string());
+                start = k + 1;
+            }
+            _ => {}
+        }
+    }
+    if !inner.trim().is_empty() {
+        args.push(inner[start..].trim().to_string());
+    }
+    // Each arg must be the quantified variable itself or `g(var)`.
+    let mut coord_ufs = Vec::new();
+    for a in &args {
+        if a == var {
+            coord_ufs.push(String::new()); // identity coordinate
+        } else if let Some(open) = a.find('(') {
+            let g = a[..open].trim();
+            let arg = a[open + 1..a.len().saturating_sub(1)].trim();
+            if !a.ends_with(')') || arg != var {
+                return err(format!("argument `{a}` is not `{var}` or `g({var})`"));
+            }
+            coord_ufs.push(g.to_string());
+        } else {
+            return err(format!("argument `{a}` is not `{var}` or `g({var})`"));
+        }
+    }
+    Ok((name, coord_ufs))
+}
+
+/// Parses one quantifier in the paper's notation.
+///
+/// # Errors
+/// Returns a [`QuantifierParseError`] describing the first malformed
+/// piece.
+pub fn parse_quantifier(text: &str) -> Result<ParsedQuantifier, QuantifierParseError> {
+    let t = text.trim();
+    let rest = t
+        .strip_prefix("forall")
+        .ok_or_else(|| QuantifierParseError { msg: "expected `forall`".into() })?;
+    let (vars_part, body) = match split_top(rest, ":") {
+        Some(x) => x,
+        None => return err("expected `:` after the quantified variables"),
+    };
+    let vars: Vec<String> = vars_part.split(',').map(|v| v.trim().to_string()).collect();
+    if vars.len() != 2 || vars.iter().any(String::is_empty) {
+        return err("expected exactly two quantified variables");
+    }
+    let (premise, conclusion) = match split_top(&body, "<=>") {
+        Some(x) => x,
+        None => return err("expected `<=>`"),
+    };
+    // Premise: v1 (<|<=) v2.
+    let premise = premise.trim();
+    let strict_premise = if premise == format!("{} < {}", vars[0], vars[1]) {
+        true
+    } else if premise == format!("{} <= {}", vars[0], vars[1]) {
+        false
+    } else {
+        return err(format!("unrecognized premise `{premise}`"));
+    };
+    // Conclusion: side1 (<|<=) side2.
+    let conclusion = conclusion.trim();
+    let (lhs, op_strict, rhs) = if let Some((l, r)) = split_top(conclusion, "<=") {
+        (l, false, r)
+    } else if let Some((l, r)) = split_top(conclusion, "<") {
+        (l, true, r)
+    } else {
+        return err(format!("unrecognized conclusion `{conclusion}`"));
+    };
+    let (lname, largs) = parse_side(&lhs, &vars[0])?;
+    let (rname, rargs) = parse_side(&rhs, &vars[1])?;
+    if lname != rname || largs != rargs {
+        return err("conclusion sides must apply the same key to each variable");
+    }
+    // Shape dispatch: a single bare-variable argument means the key IS the
+    // UF itself (monotonic); otherwise it is a reordering comparator over
+    // coordinate UFs.
+    if largs.len() == 1 && largs[0].is_empty() {
+        let monotonicity = if op_strict {
+            Monotonicity::Increasing
+        } else {
+            Monotonicity::NonDecreasing
+        };
+        if strict_premise != op_strict {
+            // e1 <= e2 <=> f(e1) <= f(e2) and e1 < e2 <=> f(e1) < f(e2)
+            // are the canonical forms; mixed forms are ambiguous.
+            return err("premise and conclusion strictness must match");
+        }
+        Ok(ParsedQuantifier::Monotonic { uf: lname, monotonicity })
+    } else {
+        Ok(ParsedQuantifier::Reordering {
+            comparator: Some(lname),
+            coord_ufs: largs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_monotonic_nondecreasing() {
+        let q = parse_quantifier(
+            "forall e1, e2 : e1 <= e2 <=> rowptr(e1) <= rowptr(e2)",
+        )
+        .unwrap();
+        assert_eq!(
+            q,
+            ParsedQuantifier::Monotonic {
+                uf: "rowptr".into(),
+                monotonicity: Monotonicity::NonDecreasing
+            }
+        );
+    }
+
+    #[test]
+    fn parses_monotonic_increasing() {
+        let q =
+            parse_quantifier("forall e1, e2 : e1 < e2 <=> off(e1) < off(e2)").unwrap();
+        assert_eq!(
+            q,
+            ParsedQuantifier::Monotonic {
+                uf: "off".into(),
+                monotonicity: Monotonicity::Increasing
+            }
+        );
+    }
+
+    #[test]
+    fn parses_morton_reordering() {
+        let q = parse_quantifier(
+            "forall n1, n2 : n1 < n2 <=> MORTON(rowm(n1), colm(n1)) < MORTON(rowm(n2), colm(n2))",
+        )
+        .unwrap();
+        assert_eq!(
+            q,
+            ParsedQuantifier::Reordering {
+                comparator: Some("MORTON".into()),
+                coord_ufs: vec!["rowm".into(), "colm".into()],
+            }
+        );
+    }
+
+    #[test]
+    fn round_trips_descriptor_generated_text() {
+        // The Monotonicity printer and this parser agree.
+        for m in [Monotonicity::NonDecreasing, Monotonicity::Increasing] {
+            let text = m.quantifier_text("someuf");
+            let q = parse_quantifier(&text).unwrap();
+            assert_eq!(
+                q,
+                ParsedQuantifier::Monotonic { uf: "someuf".into(), monotonicity: m }
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_quantifiers() {
+        assert!(parse_quantifier("for e1, e2 : ...").is_err());
+        assert!(parse_quantifier("forall e1 : e1 < e1 <=> f(e1) < f(e1)").is_err());
+        assert!(parse_quantifier("forall e1, e2 : e1 < e2 <=> f(e1)").is_err());
+        // Mismatched sides.
+        assert!(parse_quantifier(
+            "forall e1, e2 : e1 < e2 <=> f(e1) < g(e2)"
+        )
+        .is_err());
+        // Mixed strictness on a monotonic form.
+        assert!(parse_quantifier(
+            "forall e1, e2 : e1 <= e2 <=> f(e1) < f(e2)"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn mismatched_keys_rejected() {
+        assert!(parse_quantifier(
+            "forall n1, n2 : n1 < n2 <=> M(a(n1), b(n1)) < M(b(n2), a(n2))"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! Uninterpreted-function signatures: domain, range, and index-array
+//! properties (monotonicity), as required by the paper's format
+//! descriptors.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::formula::Set;
+use crate::parser::{parse_set, ParseError};
+
+/// Monotonicity of a unary uninterpreted function, expressed in the paper
+/// as a universal quantifier such as
+/// `∀e1,e2 : e1 <= e2 ⟺ rowptr(e1) <= rowptr(e2)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Monotonicity {
+    /// `e1 < e2 ⟹ uf(e1) <= uf(e2)`; CSR's `rowptr` is the canonical
+    /// example.
+    NonDecreasing,
+    /// `e1 < e2 ⟹ uf(e1) < uf(e2)`; DIA's `off` is the canonical example.
+    Increasing,
+}
+
+impl fmt::Display for Monotonicity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Monotonicity::NonDecreasing => write!(f, "non-decreasing"),
+            Monotonicity::Increasing => write!(f, "strictly increasing"),
+        }
+    }
+}
+
+impl Monotonicity {
+    /// Renders the property as the paper's universal-quantifier notation
+    /// for function `name`.
+    pub fn quantifier_text(&self, name: &str) -> String {
+        match self {
+            Monotonicity::NonDecreasing => format!(
+                "forall e1, e2 : e1 <= e2 <=> {name}(e1) <= {name}(e2)"
+            ),
+            Monotonicity::Increasing => {
+                format!("forall e1, e2 : e1 < e2 <=> {name}(e1) < {name}(e2)")
+            }
+        }
+    }
+}
+
+/// Declaration of one uninterpreted function used by a format descriptor:
+/// its arity, domain, range, and optional monotonicity property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UfSignature {
+    /// Function name, e.g. `rowptr`.
+    pub name: String,
+    /// Number of arguments.
+    pub arity: usize,
+    /// Domain as a set over `arity` variables, e.g. `{ [x] : 0 <= x <= NR }`.
+    pub domain: Set,
+    /// Range as a 1-D set, e.g. `{ [y] : 0 <= y <= NNZ }`.
+    pub range: Set,
+    /// Optional monotonicity property (unary functions only).
+    pub monotonicity: Option<Monotonicity>,
+}
+
+impl UfSignature {
+    /// Convenience constructor parsing domain and range from SPF notation.
+    ///
+    /// # Errors
+    /// Returns the underlying [`ParseError`] if either set fails to parse.
+    pub fn parse(
+        name: impl Into<String>,
+        domain: &str,
+        range: &str,
+        monotonicity: Option<Monotonicity>,
+    ) -> Result<Self, ParseError> {
+        let domain = parse_set(domain)?;
+        let range = parse_set(range)?;
+        let name = name.into();
+        Ok(UfSignature {
+            arity: domain.arity() as usize,
+            name,
+            domain,
+            range,
+            monotonicity,
+        })
+    }
+}
+
+impl fmt::Display for UfSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "domain({}) = {}, range({}) = {}",
+            self.name, self.domain, self.name, self.range
+        )?;
+        if let Some(m) = self.monotonicity {
+            write!(f, " [{m}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// A registry of uninterpreted-function signatures, keyed by name.
+///
+/// Synthesis consults this to distinguish *known* UFs (from the source
+/// format) from *unknown* UFs (to be populated for the destination), and to
+/// derive allocation sizes and initialization bounds from domains/ranges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UfEnvironment {
+    sigs: BTreeMap<String, UfSignature>,
+}
+
+impl UfEnvironment {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a signature, replacing any previous entry of that name.
+    pub fn insert(&mut self, sig: UfSignature) {
+        self.sigs.insert(sig.name.clone(), sig);
+    }
+
+    /// Looks up a signature by name.
+    pub fn get(&self, name: &str) -> Option<&UfSignature> {
+        self.sigs.get(name)
+    }
+
+    /// Returns `true` if the environment declares `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.sigs.contains_key(name)
+    }
+
+    /// Iterates over all signatures in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &UfSignature> {
+        self.sigs.values()
+    }
+
+    /// Merges another environment into this one (its entries win on
+    /// collision).
+    pub fn extend(&mut self, other: &UfEnvironment) {
+        for sig in other.iter() {
+            self.insert(sig.clone());
+        }
+    }
+
+    /// Number of registered signatures.
+    pub fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// Returns `true` when no signatures are registered.
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_signature() {
+        let sig = UfSignature::parse(
+            "rowptr",
+            "{ [x] : 0 <= x <= NR }",
+            "{ [y] : 0 <= y <= NNZ }",
+            Some(Monotonicity::NonDecreasing),
+        )
+        .unwrap();
+        assert_eq!(sig.arity, 1);
+        assert_eq!(sig.name, "rowptr");
+        assert!(sig.to_string().contains("non-decreasing"));
+    }
+
+    #[test]
+    fn environment_lookup_and_merge() {
+        let mut env = UfEnvironment::new();
+        assert!(env.is_empty());
+        env.insert(
+            UfSignature::parse("row1", "{ [x] : 0 <= x < NNZ }", "{ [y] : 0 <= y < NR }", None)
+                .unwrap(),
+        );
+        assert!(env.contains("row1"));
+        assert_eq!(env.get("row1").unwrap().arity, 1);
+
+        let mut other = UfEnvironment::new();
+        other.insert(
+            UfSignature::parse("col1", "{ [x] : 0 <= x < NNZ }", "{ [y] : 0 <= y < NC }", None)
+                .unwrap(),
+        );
+        env.extend(&other);
+        assert_eq!(env.len(), 2);
+        assert_eq!(env.iter().count(), 2);
+    }
+
+    #[test]
+    fn quantifier_text_matches_paper_form() {
+        let t = Monotonicity::NonDecreasing.quantifier_text("rowptr");
+        assert_eq!(t, "forall e1, e2 : e1 <= e2 <=> rowptr(e1) <= rowptr(e2)");
+    }
+
+    #[test]
+    fn multi_arg_domain() {
+        let sig = UfSignature::parse(
+            "P",
+            "{ [i, j] : 0 <= i < NR && 0 <= j < NC }",
+            "{ [n] : 0 <= n < NNZ }",
+            None,
+        )
+        .unwrap();
+        assert_eq!(sig.arity, 2);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for the set/relation algebra.
+
+use proptest::prelude::*;
+use spf_ir::constraint::Constraint;
+use spf_ir::expr::{Atom, LinExpr, UfCall, VarId};
+use spf_ir::formula::{Conjunction, Relation};
+use spf_ir::order::{KeyDim, OrderKey};
+use spf_ir::parser::{parse_relation, parse_set};
+
+/// Strategy for small affine expressions over `n_vars` variables and a
+/// couple of symbolic constants.
+fn arb_affine(n_vars: u32) -> impl Strategy<Value = LinExpr> {
+    let atom = prop_oneof![
+        (0..n_vars).prop_map(|i| Atom::Var(VarId(i))),
+        prop_oneof![Just("N".to_string()), Just("M".to_string())].prop_map(Atom::Sym),
+    ];
+    (
+        -5i64..=5,
+        proptest::collection::vec((-4i64..=4, atom), 0..4),
+    )
+        .prop_map(|(c, terms)| {
+            let mut e = LinExpr { constant: c, terms };
+            e.canonicalize();
+            e
+        })
+}
+
+/// Strategy for expressions that may contain one level of UF calls.
+fn arb_expr(n_vars: u32) -> impl Strategy<Value = LinExpr> {
+    let uf = (
+        prop_oneof![Just("f".to_string()), Just("g".to_string())],
+        arb_affine(n_vars),
+    )
+        .prop_map(|(name, arg)| Atom::Uf(UfCall::new(name, vec![arg])));
+    let atom = prop_oneof![
+        3 => (0..n_vars).prop_map(|i| Atom::Var(VarId(i))),
+        1 => Just(Atom::Sym("N".to_string())),
+        1 => uf,
+    ];
+    (
+        -5i64..=5,
+        proptest::collection::vec((-3i64..=3, atom), 0..4),
+    )
+        .prop_map(|(c, terms)| {
+            let mut e = LinExpr { constant: c, terms };
+            e.canonicalize();
+            e
+        })
+}
+
+fn arb_constraint(n_vars: u32) -> impl Strategy<Value = Constraint> {
+    (arb_expr(n_vars), arb_expr(n_vars), proptest::bool::ANY).prop_map(|(a, b, eq)| {
+        if eq {
+            Constraint::eq(a, b)
+        } else {
+            Constraint::le(a, b)
+        }
+    })
+}
+
+fn arb_relation(in_ar: u32, out_ar: u32) -> impl Strategy<Value = Relation> {
+    proptest::collection::vec(arb_constraint(in_ar + out_ar), 0..6).prop_map(move |cs| {
+        let mut conj = Conjunction::new(in_ar + out_ar);
+        for c in cs {
+            conj.add(c);
+        }
+        let in_names = (0..in_ar).map(|k| format!("x{k}")).collect();
+        let out_names = (0..out_ar).map(|k| format!("y{k}")).collect();
+        Relation::from_conjunctions(in_names, out_names, vec![conj])
+    })
+}
+
+proptest! {
+    /// `add` and `sub` are inverse operations.
+    #[test]
+    fn expr_add_sub_roundtrip(a in arb_expr(3), b in arb_expr(3)) {
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    /// Scaling distributes over addition.
+    #[test]
+    fn expr_scale_distributes(a in arb_expr(3), b in arb_expr(3), k in -4i64..=4) {
+        prop_assert_eq!(a.add(&b).scaled(k), a.scaled(k).add(&b.scaled(k)));
+    }
+
+    /// Substituting a variable by itself is the identity.
+    #[test]
+    fn substitute_identity(a in arb_expr(3)) {
+        let id = LinExpr::var(VarId(1));
+        prop_assert_eq!(a.substitute_var(VarId(1), &id), a);
+    }
+
+    /// `inverse` is an involution (up to simplification).
+    #[test]
+    fn relation_double_inverse(r in arb_relation(2, 2)) {
+        let mut twice = r.inverse().inverse();
+        let mut orig = r;
+        twice.simplify();
+        orig.simplify();
+        prop_assert_eq!(twice, orig);
+    }
+
+    /// Printing then parsing a simplified relation is stable.
+    #[test]
+    fn relation_print_parse_stable(r in arb_relation(2, 1)) {
+        let mut a = r;
+        a.simplify();
+        // Only printable (non-empty) relations round-trip through text.
+        prop_assume!(!a.conjunctions().is_empty());
+        let text = a.to_string();
+        let mut b = parse_relation(&text).unwrap_or_else(|e| panic!("reparse `{text}`: {e}"));
+        b.simplify();
+        prop_assert_eq!(a.to_string(), b.to_string());
+    }
+
+    /// Sets survive a print/parse/simplify round trip textually.
+    #[test]
+    fn set_print_parse_stable(cs in proptest::collection::vec(arb_constraint(2), 0..5)) {
+        let mut conj = Conjunction::new(2);
+        for c in cs { conj.add(c); }
+        let mut s = spf_ir::Set::from_conjunctions(
+            vec!["i".into(), "j".into()], vec![conj]);
+        s.simplify();
+        prop_assume!(!s.is_empty());
+        let text = s.to_string();
+        let mut back = parse_set(&text).unwrap_or_else(|e| panic!("reparse `{text}`: {e}"));
+        back.simplify();
+        prop_assert_eq!(s.to_string(), back.to_string());
+    }
+
+    /// Lexicographic order keys imply exactly their prefixes.
+    #[test]
+    fn order_key_prefix_implication(len_a in 1usize..4, len_b in 1usize..4) {
+        let a = OrderKey::lex((0..len_a).map(|d| KeyDim::coord(4, d)).collect());
+        let b = OrderKey::lex((0..len_b).map(|d| KeyDim::coord(4, d)).collect());
+        prop_assert_eq!(a.implies(&b), len_b <= len_a);
+    }
+
+    /// Key dimensions evaluate as the affine form they print.
+    #[test]
+    fn key_dim_affine_eval(c0 in -3i64..=3, c1 in -3i64..=3, k in -5i64..=5,
+                           x in 0usize..100, y in 0usize..100) {
+        let d = KeyDim::affine(vec![c0, c1], k);
+        prop_assert_eq!(d.eval(&[x, y]), c0 * x as i64 + c1 * y as i64 + k);
+    }
+}
+
+/// Composing with the identity relation is the identity (textual check on
+/// a concrete family of function relations).
+#[test]
+fn compose_with_identity() {
+    let id = parse_relation("{ [a, b] -> [c, d] : c = a && d = b }").unwrap();
+    let r = parse_relation(
+        "{ [n] -> [i, j] : i = row(n) && j = col(n) && 0 <= n < NNZ }",
+    )
+    .unwrap();
+    let mut left = id.compose(&r);
+    left.simplify();
+    let mut plain = r.clone();
+    plain.simplify();
+    // Same constraint structure: i = row(n), j = col(n), bounds.
+    assert_eq!(
+        left.conjunctions()[0].constraints.len(),
+        plain.conjunctions()[0].constraints.len()
+    );
+}

@@ -1,0 +1,205 @@
+//! MatrixMarket I/O (coordinate, real, general) so real SuiteSparse
+//! matrices can stand in for the synthetic twins when available.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use sparse_formats::CooMatrix;
+
+/// Errors raised while reading MatrixMarket files.
+#[derive(Debug)]
+pub enum MmError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed header or entry.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        msg: String,
+    },
+}
+
+impl fmt::Display for MmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "io: {e}"),
+            MmError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<io::Error> for MmError {
+    fn from(e: io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, msg: impl Into<String>) -> MmError {
+    MmError::Parse { line, msg: msg.into() }
+}
+
+/// Reads a MatrixMarket coordinate file into COO. Supports `real`,
+/// `integer`, and `pattern` fields and expands `symmetric` storage.
+///
+/// # Errors
+/// Returns [`MmError`] for I/O failures or malformed content.
+pub fn read_matrix_market(path: impl AsRef<Path>) -> Result<CooMatrix, MmError> {
+    let f = File::open(path)?;
+    read_matrix_market_from(BufReader::new(f))
+}
+
+/// Reader-based variant of [`read_matrix_market`].
+///
+/// # Errors
+/// Returns [`MmError`] for I/O failures or malformed content.
+pub fn read_matrix_market_from(r: impl BufRead) -> Result<CooMatrix, MmError> {
+    let mut lines = r.lines().enumerate();
+    // Header.
+    let (lineno, header) = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "empty file"))
+        .and_then(|(k, l)| Ok((k + 1, l?)))?;
+    let header = header.to_lowercase();
+    if !header.starts_with("%%matrixmarket matrix coordinate") {
+        return Err(parse_err(lineno, "expected coordinate MatrixMarket header"));
+    }
+    let pattern = header.contains("pattern");
+    let symmetric = header.contains("symmetric");
+    if header.contains("complex") || header.contains("hermitian") {
+        return Err(parse_err(lineno, "complex/hermitian matrices unsupported"));
+    }
+    // Size line (skip comments).
+    let mut dims: Option<(usize, usize, usize)> = None;
+    let mut row = Vec::new();
+    let mut col = Vec::new();
+    let mut val = Vec::new();
+    for (k, line) in lines {
+        let lineno = k + 1;
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_ascii_whitespace();
+        match dims {
+            None => {
+                let nr: usize = it
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad rows"))?;
+                let nc: usize = it
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad cols"))?;
+                let nnz: usize = it
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad nnz"))?;
+                dims = Some((nr, nc, nnz));
+                row.reserve(nnz);
+                col.reserve(nnz);
+                val.reserve(nnz);
+            }
+            Some(_) => {
+                let i: i64 = it
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad row index"))?;
+                let j: i64 = it
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad col index"))?;
+                let v: f64 = if pattern {
+                    1.0
+                } else {
+                    it.next()
+                        .and_then(|x| x.parse().ok())
+                        .ok_or_else(|| parse_err(lineno, "bad value"))?
+                };
+                // 1-based in the file.
+                row.push(i - 1);
+                col.push(j - 1);
+                val.push(v);
+                if symmetric && i != j {
+                    row.push(j - 1);
+                    col.push(i - 1);
+                    val.push(v);
+                }
+            }
+        }
+    }
+    let (nr, nc, _) = dims.ok_or_else(|| parse_err(0, "missing size line"))?;
+    let mut m = CooMatrix::from_triplets(nr, nc, row, col, val)
+        .map_err(|e| parse_err(0, e.to_string()))?;
+    m.sort_row_major();
+    Ok(m)
+}
+
+/// Writes a COO matrix as a MatrixMarket coordinate file.
+///
+/// # Errors
+/// Returns any underlying I/O failure.
+pub fn write_matrix_market(path: impl AsRef<Path>, m: &CooMatrix) -> io::Result<()> {
+    let f = File::create(path)?;
+    let mut w = BufWriter::new(f);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "{} {} {}", m.nr, m.nc, m.nnz())?;
+    for (i, j, v) in m.iter() {
+        writeln!(w, "{} {} {}", i + 1, j + 1, v)?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip_through_text() {
+        let m = CooMatrix::from_triplets(
+            3,
+            4,
+            vec![0, 1, 2],
+            vec![1, 3, 0],
+            vec![1.5, -2.0, 3.25],
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join("sparse_synth_mm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.mtx");
+        write_matrix_market(&path, &m).unwrap();
+        let back = read_matrix_market(&path).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn reads_pattern_and_symmetric() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                    % comment\n\
+                    3 3 2\n\
+                    2 1\n\
+                    3 3\n";
+        let m = read_matrix_market_from(Cursor::new(text)).unwrap();
+        // (2,1) expands to (1,2) as well; (3,3) stays single.
+        assert_eq!(m.nnz(), 3);
+        assert!(m.val.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let text = "%%MatrixMarket matrix array real general\n1 1\n1.0\n";
+        assert!(read_matrix_market_from(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_entries() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 x 1.0\n";
+        assert!(read_matrix_market_from(Cursor::new(text)).is_err());
+    }
+}

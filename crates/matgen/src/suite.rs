@@ -1,0 +1,230 @@
+//! Synthetic twins of the paper's evaluation suite.
+//!
+//! Table 3 of the paper lists 21 SuiteSparse matrices; Table 4 lists
+//! three FROSTT tensors. Those datasets are external, so this module
+//! provides deterministic generators that reproduce each entry's
+//! *structure class* and statistics (dimensions, NNZ, diagonal count) at
+//! a configurable scale — `scale = 1` matches the paper's sizes, larger
+//! scales shrink both dimensions and NNZ proportionally for quick runs.
+//! The properties the experiments depend on (sortedness, rows, NNZ,
+//! number of populated diagonals) are preserved exactly by class.
+
+use sparse_formats::{Coo3Tensor, CooMatrix};
+
+use crate::generators::{
+    banded, fem_like, power_law, random_uniform, skewed_tensor, spread_offsets, stencil5,
+    stencil7,
+};
+
+/// Structure class of a synthetic matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixClass {
+    /// 5-point stencil on a square grid (5 diagonals).
+    Stencil5,
+    /// 7-point stencil on a cube (7 diagonals).
+    Stencil7,
+    /// Banded with the given number of diagonals.
+    Banded {
+        /// Number of populated diagonals.
+        diagonals: usize,
+    },
+    /// FEM-style clustered blocks.
+    Fem {
+        /// Dense block edge.
+        block: usize,
+        /// Off-diagonal coupling blocks per block row.
+        couple: usize,
+    },
+    /// Uniform random.
+    Random,
+    /// Power-law row degrees.
+    PowerLaw,
+}
+
+/// One entry of the synthetic Table-3 suite.
+#[derive(Debug, Clone)]
+pub struct MatrixSpec {
+    /// SuiteSparse name this entry mirrors.
+    pub name: &'static str,
+    /// Rows at scale 1.
+    pub nr: usize,
+    /// Columns at scale 1.
+    pub nc: usize,
+    /// Nonzeros at scale 1 (approximate for stochastic classes).
+    pub nnz: usize,
+    /// Structure class.
+    pub class: MatrixClass,
+}
+
+impl MatrixSpec {
+    /// Generates the matrix at `scale` (dimensions and NNZ divided by
+    /// `scale`), sorted row-major as the paper's evaluation assumes.
+    pub fn generate(&self, scale: usize) -> CooMatrix {
+        let scale = scale.max(1);
+        let nr = (self.nr / scale).max(16);
+        let nnz = (self.nnz / scale).max(nr);
+        let seed = self
+            .name
+            .bytes()
+            .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+        let mut m = match &self.class {
+            MatrixClass::Stencil5 => {
+                let side = (nr as f64).sqrt().ceil() as usize;
+                stencil5(side, side)
+            }
+            MatrixClass::Stencil7 => {
+                let side = (nr as f64).cbrt().ceil() as usize;
+                stencil7(side, side, side)
+            }
+            MatrixClass::Banded { diagonals } => {
+                let max_off = (nr as i64 / 20).max(*diagonals as i64 + 1);
+                let offsets = spread_offsets(*diagonals, max_off);
+                // Fill chosen to land near the target NNZ.
+                let fill =
+                    (nnz as f64 / (offsets.len() as f64 * nr as f64)).clamp(0.05, 1.0);
+                banded(nr, &offsets, fill, seed)
+            }
+            MatrixClass::Fem { block, couple } => {
+                // Choose the couple count so block * block * couple * nb
+                // lands near nnz.
+                let per_row = (nnz / nr).max(1);
+                let couple = (*couple).max(per_row / (block * 6 / 10).max(1)).max(1);
+                fem_like(nr, *block, couple, seed)
+            }
+            MatrixClass::Random => random_uniform(nr, nr, nnz, seed),
+            MatrixClass::PowerLaw => power_law(nr, nr, nnz, seed),
+        };
+        if !m.is_sorted_row_major() {
+            m.sort_row_major();
+        }
+        m
+    }
+
+    /// Returns `true` for classes with a bounded diagonal count, i.e. the
+    /// matrices DIA conversion is feasible on.
+    pub fn dia_friendly(&self) -> bool {
+        matches!(
+            self.class,
+            MatrixClass::Stencil5 | MatrixClass::Stencil7 | MatrixClass::Banded { .. }
+        )
+    }
+}
+
+/// The 21-entry synthetic Table-3 suite.
+pub fn table3_suite() -> Vec<MatrixSpec> {
+    use MatrixClass::*;
+    vec![
+        MatrixSpec { name: "pdb1HYS", nr: 36_417, nc: 36_417, nnz: 4_344_765, class: Fem { block: 12, couple: 6 } },
+        MatrixSpec { name: "jnlbrng1", nr: 40_000, nc: 40_000, nnz: 199_200, class: Stencil5 },
+        MatrixSpec { name: "obstclae", nr: 40_000, nc: 40_000, nnz: 197_608, class: Stencil5 },
+        MatrixSpec { name: "chem_master1", nr: 40_401, nc: 40_401, nnz: 201_201, class: Stencil5 },
+        MatrixSpec { name: "rma10", nr: 46_835, nc: 46_835, nnz: 2_374_001, class: Fem { block: 10, couple: 5 } },
+        MatrixSpec { name: "dixmaanl", nr: 60_000, nc: 60_000, nnz: 299_998, class: Banded { diagonals: 5 } },
+        MatrixSpec { name: "cant", nr: 62_451, nc: 62_451, nnz: 4_007_383, class: Fem { block: 12, couple: 5 } },
+        MatrixSpec { name: "shyy161", nr: 76_480, nc: 76_480, nnz: 329_762, class: Banded { diagonals: 9 } },
+        MatrixSpec { name: "consph", nr: 83_334, nc: 83_334, nnz: 6_010_480, class: Fem { block: 12, couple: 6 } },
+        MatrixSpec { name: "denormal", nr: 89_400, nc: 89_400, nnz: 1_156_224, class: Banded { diagonals: 13 } },
+        MatrixSpec { name: "Baumann", nr: 112_211, nc: 112_211, nnz: 748_331, class: Stencil7 },
+        MatrixSpec { name: "cop20k_A", nr: 121_192, nc: 121_192, nnz: 2_624_331, class: Random },
+        MatrixSpec { name: "shipsec1", nr: 140_874, nc: 140_874, nnz: 3_568_176, class: Fem { block: 10, couple: 4 } },
+        MatrixSpec { name: "majorbasis", nr: 160_000, nc: 160_000, nnz: 1_750_416, class: Banded { diagonals: 22 } },
+        MatrixSpec { name: "scircuit", nr: 170_998, nc: 170_998, nnz: 958_936, class: PowerLaw },
+        MatrixSpec { name: "mac_econ_fwd500", nr: 206_500, nc: 206_500, nnz: 1_273_389, class: Random },
+        MatrixSpec { name: "pwtk", nr: 217_918, nc: 217_918, nnz: 11_524_432, class: Fem { block: 12, couple: 7 } },
+        MatrixSpec { name: "Lin", nr: 256_000, nc: 256_000, nnz: 1_766_400, class: Stencil7 },
+        MatrixSpec { name: "ecology1", nr: 1_000_000, nc: 1_000_000, nnz: 4_996_000, class: Stencil5 },
+        MatrixSpec { name: "webbase1M", nr: 1_000_005, nc: 1_000_005, nnz: 3_105_536, class: PowerLaw },
+        MatrixSpec { name: "atmosmodd", nr: 1_270_432, nc: 1_270_432, nnz: 8_814_880, class: Stencil7 },
+    ]
+}
+
+/// One entry of the synthetic Table-4 tensor suite.
+#[derive(Debug, Clone)]
+pub struct TensorSpec {
+    /// FROSTT name this entry mirrors.
+    pub name: &'static str,
+    /// Mode extents at scale 1.
+    pub dims: (usize, usize, usize),
+    /// Nonzeros at scale 1.
+    pub nnz: usize,
+}
+
+impl TensorSpec {
+    /// Generates the tensor at `scale` (extents and NNZ divided by
+    /// `scale`), lexicographically sorted.
+    pub fn generate(&self, scale: usize) -> Coo3Tensor {
+        let scale = scale.max(1);
+        let dims = (
+            (self.dims.0 / scale).max(8),
+            (self.dims.1 / scale).max(8),
+            (self.dims.2 / scale).max(8),
+        );
+        let nnz = (self.nnz / scale).max(64);
+        let seed = self
+            .name
+            .bytes()
+            .fold(1u64, |h, b| h.wrapping_mul(137).wrapping_add(b as u64));
+        skewed_tensor(dims, nnz, seed)
+    }
+}
+
+/// The three-entry synthetic Table-4 suite (darpa, fb-m, fb-s twins).
+pub fn table4_suite() -> Vec<TensorSpec> {
+    vec![
+        TensorSpec { name: "darpa", dims: (22_476, 22_476, 23_776_223), nnz: 28_436_033 },
+        TensorSpec { name: "fb-m", dims: (23_344_784, 23_344_784, 166), nnz: 99_590_916 },
+        TensorSpec { name: "fb-s", dims: (38_955_429, 38_955_429, 532), nnz: 139_920_771 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_21_entries_matching_table3() {
+        let suite = table3_suite();
+        assert_eq!(suite.len(), 21);
+        let eco = suite.iter().find(|s| s.name == "ecology1").unwrap();
+        assert_eq!(eco.nr, 1_000_000);
+        assert!(eco.dia_friendly());
+        let web = suite.iter().find(|s| s.name == "webbase1M").unwrap();
+        assert!(!web.dia_friendly());
+    }
+
+    #[test]
+    fn generated_matrices_are_sorted_and_sized() {
+        for spec in table3_suite() {
+            let m = spec.generate(256);
+            assert!(m.is_sorted_row_major(), "{}", spec.name);
+            assert!(m.nnz() > 0, "{}", spec.name);
+            assert!(m.nr >= 16, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn diagonal_counts_match_class() {
+        let suite = table3_suite();
+        let major = suite.iter().find(|s| s.name == "majorbasis").unwrap();
+        let m = major.generate(64);
+        // ~22 diagonals (the paper's worst DIA case).
+        let d = m.diagonals().len();
+        assert!((18..=24).contains(&d), "majorbasis diagonals = {d}");
+        let eco = suite.iter().find(|s| s.name == "ecology1").unwrap();
+        assert_eq!(eco.generate(64).diagonals().len(), 5);
+    }
+
+    #[test]
+    fn tensor_suite_generates_scaled() {
+        for spec in table4_suite() {
+            let t = spec.generate(4096);
+            assert!(t.nnz() >= 64, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let spec = &table3_suite()[14]; // scircuit
+        assert_eq!(spec.generate(128), spec.generate(128));
+    }
+}

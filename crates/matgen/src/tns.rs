@@ -1,0 +1,162 @@
+//! FROSTT `.tns` tensor I/O, so the real `darpa` / `fb-m` / `fb-s`
+//! tensors can replace the synthetic Table-4 twins when available.
+//!
+//! The format is one nonzero per line: `i j k value` with 1-based
+//! coordinates; `#`-prefixed lines are comments.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use sparse_formats::Coo3Tensor;
+
+/// Errors raised while reading `.tns` files.
+#[derive(Debug)]
+pub enum TnsError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed entry.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        msg: String,
+    },
+}
+
+impl fmt::Display for TnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TnsError::Io(e) => write!(f, "io: {e}"),
+            TnsError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TnsError {}
+
+impl From<io::Error> for TnsError {
+    fn from(e: io::Error) -> Self {
+        TnsError::Io(e)
+    }
+}
+
+/// Reads an order-3 `.tns` file; extents are inferred from the maximum
+/// coordinate per mode. The result is lexicographically sorted.
+///
+/// # Errors
+/// Returns [`TnsError`] for I/O failures, malformed lines, or tensors
+/// whose order is not 3.
+pub fn read_tns(path: impl AsRef<Path>) -> Result<Coo3Tensor, TnsError> {
+    read_tns_from(BufReader::new(File::open(path)?))
+}
+
+/// Reader-based variant of [`read_tns`].
+///
+/// # Errors
+/// See [`read_tns`].
+pub fn read_tns_from(r: impl BufRead) -> Result<Coo3Tensor, TnsError> {
+    let mut i0 = Vec::new();
+    let mut i1 = Vec::new();
+    let mut i2 = Vec::new();
+    let mut val = Vec::new();
+    for (k, line) in r.lines().enumerate() {
+        let lineno = k + 1;
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let fields: Vec<&str> = t.split_ascii_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(TnsError::Parse {
+                line: lineno,
+                msg: format!("expected `i j k value`, found {} fields", fields.len()),
+            });
+        }
+        let parse_coord = |s: &str| -> Result<i64, TnsError> {
+            s.parse::<i64>()
+                .ok()
+                .filter(|&v| v >= 1)
+                .ok_or_else(|| TnsError::Parse {
+                    line: lineno,
+                    msg: format!("bad coordinate `{s}`"),
+                })
+        };
+        i0.push(parse_coord(fields[0])? - 1);
+        i1.push(parse_coord(fields[1])? - 1);
+        i2.push(parse_coord(fields[2])? - 1);
+        val.push(fields[3].parse::<f64>().map_err(|_| TnsError::Parse {
+            line: lineno,
+            msg: format!("bad value `{}`", fields[3]),
+        })?);
+    }
+    let dims = (
+        i0.iter().max().map_or(1, |&m| m as usize + 1),
+        i1.iter().max().map_or(1, |&m| m as usize + 1),
+        i2.iter().max().map_or(1, |&m| m as usize + 1),
+    );
+    let mut t = Coo3Tensor::from_coords(dims, i0, i1, i2, val)
+        .map_err(|e| TnsError::Parse { line: 0, msg: e.to_string() })?;
+    t.sort_by(|a, b| a.cmp(b));
+    Ok(t)
+}
+
+/// Writes an order-3 tensor as `.tns` (1-based coordinates).
+///
+/// # Errors
+/// Returns any underlying I/O failure.
+pub fn write_tns(path: impl AsRef<Path>, t: &Coo3Tensor) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for (c, v) in t.iter() {
+        writeln!(w, "{} {} {} {}", c[0] + 1, c[1] + 1, c[2] + 1, v)?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip() {
+        let t = Coo3Tensor::from_coords(
+            (3, 4, 5),
+            vec![0, 2, 1],
+            vec![3, 0, 1],
+            vec![4, 2, 0],
+            vec![1.5, -2.0, 3.0],
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join("sparse_synth_tns_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.tns");
+        write_tns(&path, &t).unwrap();
+        let mut back = read_tns(&path).unwrap();
+        let mut orig = t;
+        orig.sort_by(|a, b| a.cmp(b));
+        back.sort_by(|a, b| a.cmp(b));
+        assert_eq!(back.i0, orig.i0);
+        assert_eq!(back.val, orig.val);
+    }
+
+    #[test]
+    fn skips_comments_and_infers_dims() {
+        let text = "# a comment\n2 3 1 7.5\n1 1 4 -1\n";
+        let t = read_tns_from(Cursor::new(text)).unwrap();
+        assert_eq!(t.nnz(), 2);
+        assert_eq!((t.nr, t.nc, t.nz), (2, 3, 4));
+        // Sorted lexicographically: (0,0,3) first.
+        assert_eq!(t.i0, vec![0, 1]);
+        assert_eq!(t.val, vec![-1.0, 7.5]);
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        assert!(read_tns_from(Cursor::new("1 2 3\n")).is_err());
+        assert!(read_tns_from(Cursor::new("0 1 1 2.0\n")).is_err()); // 1-based
+        assert!(read_tns_from(Cursor::new("1 1 1 xyz\n")).is_err());
+    }
+}

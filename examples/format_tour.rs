@@ -1,0 +1,56 @@
+//! Prints every built-in format descriptor in the paper's Table-1
+//! notation, and demonstrates the order-implication analysis that decides
+//! when a permutation is needed.
+//!
+//! ```text
+//! cargo run --example format_tour
+//! ```
+
+use sparse_synth::formats::descriptors;
+use sparse_synth::formats::FormatDescriptor;
+
+fn main() {
+    let all: Vec<FormatDescriptor> = vec![
+        descriptors::coo(),
+        descriptors::scoo(),
+        descriptors::coo3(),
+        descriptors::scoo3(),
+        descriptors::mcoo(),
+        descriptors::mcoo3(),
+        descriptors::csr(),
+        descriptors::csc(),
+        descriptors::dia(),
+    ];
+
+    println!("================ Table 1: format descriptors ================\n");
+    for d in &all {
+        println!("{}", d.table1_row());
+    }
+
+    println!("================ Order-implication matrix ================\n");
+    println!(
+        "`yes` means converting row -> column needs NO permutation (the\n\
+         source order implies the destination order, so DCE removes P):\n"
+    );
+    print!("{:<10}", "");
+    for dst in &all {
+        print!("{:>8}", dst.name);
+    }
+    println!();
+    for src in &all {
+        print!("{:<10}", src.name);
+        for dst in &all {
+            let implied = match (&src.order, &dst.order) {
+                (_, None) => true, // unordered destination: insertion order
+                (Some(s), Some(d)) => s.implies(d),
+                (None, Some(_)) => false,
+            };
+            print!("{:>8}", if implied { "yes" } else { "P" });
+        }
+        println!();
+    }
+    println!(
+        "\n(`P` marks pairs where synthesis inserts the OrderedList\n\
+         permutation of §3.2 — e.g. sorted COO -> CSC, or anything -> MCOO.)"
+    );
+}

@@ -1,0 +1,271 @@
+//! Workspace-level integration tests: the full descriptor → synthesis →
+//! optimization → execution pipeline on realistic matrices from the
+//! synthetic evaluation suite, checked against the reference conversions.
+
+use sparse_synth::baselines::{self, Library};
+use sparse_synth::formats::{descriptors, CooMatrix, CscMatrix, CsrMatrix, DiaMatrix};
+use sparse_synth::matgen::suite::{table3_suite, table4_suite};
+use sparse_synth::synthesis::{Conversion, SynthesisOptions};
+
+const SCALE: usize = 1024;
+
+fn suite_matrices() -> Vec<(String, CooMatrix)> {
+    table3_suite()
+        .into_iter()
+        .map(|s| (s.name.to_string(), s.generate(SCALE)))
+        .collect()
+}
+
+#[test]
+fn coo_to_csr_whole_suite() {
+    let conv = Conversion::new(
+        &descriptors::scoo(),
+        &descriptors::csr(),
+        SynthesisOptions::default(),
+    )
+    .unwrap();
+    for (name, coo) in suite_matrices() {
+        let (got, _) = conv.run_coo_to_csr(&coo).unwrap();
+        assert_eq!(got, CsrMatrix::from_coo(&coo), "{name}");
+    }
+}
+
+#[test]
+fn coo_to_csc_whole_suite() {
+    let conv = Conversion::new(
+        &descriptors::scoo(),
+        &descriptors::csc(),
+        SynthesisOptions::default(),
+    )
+    .unwrap();
+    for (name, coo) in suite_matrices() {
+        let (got, _) = conv.run_coo_to_csc(&coo).unwrap();
+        assert_eq!(got, CscMatrix::from_coo(&coo), "{name}");
+    }
+}
+
+#[test]
+fn csr_to_csc_whole_suite() {
+    let conv = Conversion::new(
+        &descriptors::csr(),
+        &descriptors::csc(),
+        SynthesisOptions::default(),
+    )
+    .unwrap();
+    for (name, coo) in suite_matrices() {
+        let csr = CsrMatrix::from_coo(&coo);
+        let (got, _) = conv.run_csr_to_csc(&csr).unwrap();
+        assert_eq!(got, CscMatrix::from_csr(&csr), "{name}");
+    }
+}
+
+#[test]
+fn coo_to_dia_banded_suite_linear_and_binary() {
+    for binary_search in [false, true] {
+        let conv = Conversion::new(
+            &descriptors::scoo(),
+            &descriptors::dia(),
+            SynthesisOptions { optimize: true, binary_search },
+        )
+        .unwrap();
+        for spec in table3_suite() {
+            if !spec.dia_friendly() {
+                continue;
+            }
+            let coo = spec.generate(SCALE);
+            let (got, _) = conv.run_coo_to_dia(&coo).unwrap();
+            assert_eq!(got, DiaMatrix::from_coo(&coo), "{} bs={binary_search}", spec.name);
+        }
+    }
+}
+
+#[test]
+fn coo3_to_mcoo3_tensor_suite() {
+    let conv = Conversion::new(
+        &descriptors::scoo3(),
+        &descriptors::mcoo3(),
+        SynthesisOptions::default(),
+    )
+    .unwrap();
+    for spec in table4_suite() {
+        let t = spec.generate(SCALE * 32);
+        let (got, _) = conv.run_coo3_to_mcoo3(&t).unwrap();
+        got.validate().unwrap();
+        // Agreement with the hand-written HiCOO comparator: identical
+        // coordinate sequences.
+        let want = baselines::hicoo_morton_sort3(&t, 7);
+        assert_eq!(got.coo.i0, want.coo.i0, "{}", spec.name);
+        assert_eq!(got.coo.i1, want.coo.i1, "{}", spec.name);
+        assert_eq!(got.coo.i2, want.coo.i2, "{}", spec.name);
+    }
+}
+
+#[test]
+fn baselines_agree_with_synthesized_on_suite_sample() {
+    // Synthesized code, baseline models, and reference conversions all
+    // produce the same CSR on a sample of the suite.
+    let conv = Conversion::new(
+        &descriptors::scoo(),
+        &descriptors::csr(),
+        SynthesisOptions::default(),
+    )
+    .unwrap();
+    for (name, coo) in suite_matrices().into_iter().take(6) {
+        let (ours, _) = conv.run_coo_to_csr(&coo).unwrap();
+        for lib in Library::ALL {
+            let routine = baselines::coo_to_csr(lib);
+            let (theirs, _) = baselines::run_coo_to_csr(&routine, &coo).unwrap();
+            assert_eq!(ours, theirs, "{name} vs {}", lib.name());
+        }
+    }
+}
+
+#[test]
+fn spmv_is_preserved_across_all_conversions() {
+    // The semantic acid test: y = A x is identical no matter which format
+    // the synthesized code produced.
+    let spec = &table3_suite()[7]; // shyy161, banded
+    let coo = spec.generate(SCALE);
+    let x: Vec<f64> = (0..coo.nc).map(|k| ((k % 13) as f64) - 6.0).collect();
+    let want = coo.spmv(&x);
+
+    let close = |a: &[f64], b: &[f64]| {
+        a.iter().zip(b).all(|(p, q)| (p - q).abs() < 1e-9)
+    };
+
+    let csr = Conversion::new(
+        &descriptors::scoo(),
+        &descriptors::csr(),
+        SynthesisOptions::default(),
+    )
+    .unwrap()
+    .run_coo_to_csr(&coo)
+    .unwrap()
+    .0;
+    assert!(close(&csr.spmv(&x), &want));
+
+    let csc = Conversion::new(
+        &descriptors::scoo(),
+        &descriptors::csc(),
+        SynthesisOptions::default(),
+    )
+    .unwrap()
+    .run_coo_to_csc(&coo)
+    .unwrap()
+    .0;
+    assert!(close(&csc.spmv(&x), &want));
+
+    let dia = Conversion::new(
+        &descriptors::scoo(),
+        &descriptors::dia(),
+        SynthesisOptions { optimize: true, binary_search: true },
+    )
+    .unwrap()
+    .run_coo_to_dia(&coo)
+    .unwrap()
+    .0;
+    assert!(close(&dia.spmv(&x), &want));
+}
+
+#[test]
+fn chained_conversions_round_trip() {
+    // COO -> CSR -> CSC -> (to_coo) equals the column-sorted original:
+    // chains of synthesized conversions compose.
+    let coo = table3_suite()[5].generate(SCALE); // dixmaanl
+    let to_csr = Conversion::new(
+        &descriptors::scoo(),
+        &descriptors::csr(),
+        SynthesisOptions::default(),
+    )
+    .unwrap();
+    let to_csc = Conversion::new(
+        &descriptors::csr(),
+        &descriptors::csc(),
+        SynthesisOptions::default(),
+    )
+    .unwrap();
+    let (csr, _) = to_csr.run_coo_to_csr(&coo).unwrap();
+    let (csc, _) = to_csc.run_csr_to_csc(&csr).unwrap();
+    assert_eq!(csc.to_dense(), coo.to_dense());
+}
+
+#[test]
+fn emitted_c_is_stable_for_the_papers_running_example() {
+    // Golden test: the COO -> MCOO inspector shape from §3.2 of the
+    // paper (OrderedList declaration, insertion loop, rank-based copy).
+    let conv = Conversion::new(
+        &descriptors::scoo(),
+        &descriptors::mcoo(),
+        SynthesisOptions::default(),
+    )
+    .unwrap();
+    let c = conv.emit_c();
+    let expected_lines = [
+        "// P = new OrderedList(2, MORTON, unique=false)",
+        "P.insert(i, j);",
+        "P.finalize();",
+        "int p = P.rank(i, j);",
+        "rowm[p] = i;",
+        "colm[p] = j;",
+        "Amcoo[p] = Acoo[n];",
+    ];
+    for line in expected_lines {
+        assert!(c.contains(line), "missing `{line}` in:\n{c}");
+    }
+}
+
+#[test]
+fn synthesized_reorder_feeds_hicoo_construction() {
+    // The Table-4 story end-to-end: the synthesized COO3D -> MCOO3
+    // conversion is exactly the sorting step HiCOO construction needs;
+    // building HiCOO from the synthesized output equals building it from
+    // scratch.
+    use sparse_synth::formats::HicooTensor;
+    use sparse_synth::synthesis::SynthesisOptions;
+    let t = table4_suite()[0].generate(SCALE * 64);
+    let conv = Conversion::new(
+        &descriptors::scoo3(),
+        &descriptors::mcoo3(),
+        SynthesisOptions::default(),
+    )
+    .unwrap();
+    let (mcoo3, _) = conv.run_coo3_to_mcoo3(&t).unwrap();
+    let via_synthesis = HicooTensor::from_mcoo3(&mcoo3, 4);
+    let from_scratch = HicooTensor::from_coo3(&t, 4);
+    assert_eq!(via_synthesis, from_scratch);
+    via_synthesis.validate().unwrap();
+    // And the blocked tensor computes the same TTV as the source.
+    let x: Vec<f64> = (0..t.nz).map(|k| (k % 3) as f64).collect();
+    assert_eq!(via_synthesis.ttv_mode2(&x), t.ttv_mode2(&x));
+}
+
+#[test]
+fn descriptor_quantifiers_round_trip_through_the_parser() {
+    // Every quantifier a descriptor prints parses back to its semantic
+    // form (spec fidelity: the Table-1 notation is not just display).
+    use sparse_synth::ir::{parse_quantifier, Monotonicity, ParsedQuantifier};
+    for d in [
+        descriptors::scoo(),
+        descriptors::csr(),
+        descriptors::csc(),
+        descriptors::dia(),
+        descriptors::mcoo(),
+        descriptors::mcoo3(),
+    ] {
+        for text in d.quantifier_texts() {
+            let parsed = parse_quantifier(&text)
+                .unwrap_or_else(|e| panic!("{}: `{text}`: {e}", d.name));
+            match parsed {
+                ParsedQuantifier::Monotonic { uf, monotonicity } => {
+                    let sig = d.ufs.get(&uf).expect("quantified UF is declared");
+                    assert_eq!(sig.monotonicity, Some(monotonicity), "{}", d.name);
+                }
+                ParsedQuantifier::Reordering { comparator, coord_ufs } => {
+                    assert!(d.order.is_some(), "{}", d.name);
+                    assert!(comparator.is_some(), "{}", d.name);
+                    assert_eq!(coord_ufs.len(), d.rank, "{}", d.name);
+                }
+            }
+        }
+    }
+}
