@@ -1,0 +1,122 @@
+//! Engine serving-layer benchmark: plan-cache amortization and batch
+//! throughput.
+//!
+//! Measurements on a >=100k-nnz COO -> CSR conversion:
+//!
+//! 1. **plan acquisition** — what the cache eliminates: synthesizing +
+//!    lowering a plan from scratch vs fetching it from a warm cache.
+//!    This is the headline ratio (required >=10x; in practice several
+//!    hundred x).
+//! 2. **end-to-end** — a cold engine's first `convert` (synthesis + run)
+//!    vs warm converts (run only). On large inputs the inspector
+//!    execution dominates, so this ratio is modest by design — the cache
+//!    removes the synthesis term, it cannot make execution faster.
+//! 3. **batch** — `convert_batch` over copies of the input at several
+//!    thread counts (wall-clock scaling requires >1 available CPU; the
+//!    available parallelism is printed alongside).
+//!
+//! Run with `cargo bench -p sparse-bench --bench engine_cache`.
+
+use std::time::{Duration, Instant};
+
+use sparse_engine::{Engine, EngineConfig};
+use sparse_formats::{descriptors, AnyMatrix, CooMatrix};
+
+/// Deterministic scattered matrix, sorted row-major, ~143k nnz.
+fn large_scoo() -> CooMatrix {
+    let (nr, nc, stride) = (1000usize, 1000usize, 7usize);
+    let mut row = Vec::new();
+    let mut col = Vec::new();
+    let mut val = Vec::new();
+    for k in (0..nr * nc).step_by(stride) {
+        row.push((k / nc) as i64);
+        col.push((k % nc) as i64);
+        val.push((k % 97) as f64 + 1.0);
+    }
+    CooMatrix::from_triplets(nr, nc, row, col, val).unwrap()
+}
+
+fn time<R>(mut f: impl FnMut() -> R) -> Duration {
+    let t0 = Instant::now();
+    std::hint::black_box(f());
+    t0.elapsed()
+}
+
+fn median(mut samples: Vec<Duration>) -> Duration {
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    const SAMPLES: usize = 5;
+    let src = descriptors::scoo();
+    let dst = descriptors::csr();
+    let input = AnyMatrix::Coo(large_scoo());
+    let nnz = input.nnz();
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "engine_cache: COO -> CSR, {nnz} nnz, {SAMPLES} samples each, {cpus} CPU(s) available"
+    );
+
+    // 1. Plan acquisition: synthesis from scratch vs warm-cache fetch.
+    let cold_plan = median(
+        (0..SAMPLES)
+            .map(|_| {
+                let engine = Engine::new();
+                time(|| engine.plan(&src, &dst).unwrap())
+            })
+            .collect(),
+    );
+    let engine = Engine::new();
+    engine.plan(&src, &dst).unwrap();
+    let warm_plan = median(
+        (0..SAMPLES * 100)
+            .map(|_| time(|| engine.plan(&src, &dst).unwrap()))
+            .collect(),
+    );
+    let plan_ratio = cold_plan.as_secs_f64() / warm_plan.as_secs_f64().max(1e-9);
+    eprintln!("  plan: cold synthesis          {cold_plan:>12.2?}");
+    eprintln!("  plan: warm cache fetch        {warm_plan:>12.2?}   cold/warm = {plan_ratio:.0}x");
+    assert!(
+        plan_ratio >= 10.0,
+        "plan cache must beat re-synthesis by >=10x (got {plan_ratio:.1}x)"
+    );
+
+    // 2. End-to-end conversions on the large input.
+    let cold_convert = median(
+        (0..SAMPLES)
+            .map(|_| {
+                let engine = Engine::new();
+                time(|| engine.convert(&src, &dst, &input).unwrap())
+            })
+            .collect(),
+    );
+    let engine = Engine::new();
+    engine.convert(&src, &dst, &input).unwrap();
+    let warm_convert = median(
+        (0..SAMPLES)
+            .map(|_| time(|| engine.convert(&src, &dst, &input).unwrap()))
+            .collect(),
+    );
+    assert_eq!(engine.stats().plans_synthesized, 1, "warm path must not synthesize");
+    let e2e_ratio = cold_convert.as_secs_f64() / warm_convert.as_secs_f64();
+    eprintln!("  convert: cold (synth + run)   {cold_convert:>12.2?}");
+    eprintln!("  convert: warm (run only)      {warm_convert:>12.2?}   cold/warm = {e2e_ratio:.2}x");
+
+    // 3. Batch throughput at several widths.
+    let batch: Vec<AnyMatrix> = (0..16).map(|_| input.clone()).collect();
+    for threads in [1usize, 2, 4, 8] {
+        let engine = Engine::with_config(EngineConfig { threads, ..Default::default() });
+        engine.plan(&src, &dst).unwrap(); // prime so timing is pure execution
+        let total = median(
+            (0..SAMPLES)
+                .map(|_| time(|| engine.convert_batch(&src, &dst, &batch).unwrap()))
+                .collect(),
+        );
+        let per = total / batch.len() as u32;
+        eprintln!(
+            "  batch x{} @ {threads} thread(s):      {total:>12.2?} total, {per:?}/conversion",
+            batch.len()
+        );
+    }
+}

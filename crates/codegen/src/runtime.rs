@@ -22,7 +22,7 @@ use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::morton::morton_cmp;
 
@@ -77,7 +77,7 @@ fn key_buf(key: &[i64]) -> KeyBuf {
 }
 
 /// A shared user-defined comparison function over integer key tuples.
-pub type CmpFn = Rc<dyn Fn(&[i64], &[i64]) -> Ordering>;
+pub type CmpFn = Arc<dyn Fn(&[i64], &[i64]) -> Ordering + Send + Sync>;
 
 /// Comparison semantics of an [`OrderedList`].
 #[derive(Clone)]
@@ -433,7 +433,7 @@ mod tests {
     #[test]
     fn custom_comparator() {
         // Reverse lexicographic.
-        let cmp: CmpFn = Rc::new(|a, b| b.cmp(a));
+        let cmp: CmpFn = Arc::new(|a, b| b.cmp(a));
         let mut l = OrderedList::new(1, ListOrder::Custom(cmp), false);
         for k in [1i64, 3, 2] {
             l.insert(&[k]).unwrap();

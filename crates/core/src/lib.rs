@@ -48,7 +48,9 @@ pub mod synthesize;
 
 pub use analysis::{analyze_destination, AnalysisError, DstAnalysis, DstVarKind};
 pub use executor::{spmv, ttv_mode2};
-pub use run::{Conversion, RunError};
+pub use run::{
+    bind_matrix, bind_tensor, extract_matrix, extract_tensor, Conversion, RunError,
+};
 pub use synthesize::{
     synthesize, PermutationKind, SynthesisError, SynthesisOptions,
     SynthesizedConversion, LIST_PREFIX, PERM_NAME,

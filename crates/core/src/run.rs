@@ -6,8 +6,9 @@
 use std::fmt;
 
 use sparse_formats::{
-    Coo3Tensor, CooMatrix, CscMatrix, CsrMatrix, DiaMatrix, EllMatrix,
-    FormatDescriptor, FormatError, MortonCoo3Tensor, MortonCooMatrix,
+    AnyMatrix, AnyTensor, Coo3Tensor, CooMatrix, CscMatrix, CsrMatrix, DiaMatrix, EllMatrix,
+    FormatDescriptor, FormatError, FormatKind, MatrixRef, MortonCoo3Tensor, MortonCooMatrix,
+    TensorRef,
 };
 use spf_codegen::interp::{ExecError, ExecStats};
 use spf_codegen::runtime::RtEnv;
@@ -29,6 +30,11 @@ pub enum RunError {
     Format(FormatError),
     /// A name expected in the environment after execution is missing.
     MissingOutput(String),
+    /// The descriptor/container pairing has no dispatch path: the
+    /// descriptor's [`FormatKind`] is unsupported, the input container
+    /// does not match the source descriptor, or the destination kind has
+    /// no extractor.
+    Unsupported(String),
 }
 
 impl fmt::Display for RunError {
@@ -38,6 +44,7 @@ impl fmt::Display for RunError {
             RunError::Exec(e) => write!(f, "execution: {e}"),
             RunError::Format(e) => write!(f, "invalid output: {e}"),
             RunError::MissingOutput(n) => write!(f, "missing output `{n}`"),
+            RunError::Unsupported(what) => write!(f, "unsupported dispatch: {what}"),
         }
     }
 }
@@ -128,17 +135,55 @@ impl Conversion {
         bind_coo(env, &self.synth.src, m);
     }
 
+    /// Converts any rank-2 matrix: binds `m` under the *source*
+    /// descriptor's names, runs the inspector, and extracts the container
+    /// the *destination* descriptor's [`FormatKind`] calls for. This is
+    /// the one dispatch path every `run_x_to_y` shim (and the engine's
+    /// `convert`) goes through.
+    ///
+    /// # Errors
+    /// Fails when `m`'s container does not match the source descriptor,
+    /// when either kind has no dispatch rule, and on execution or output
+    /// validation failures.
+    pub fn run_matrix<'a>(
+        &self,
+        m: impl Into<MatrixRef<'a>>,
+    ) -> Result<(AnyMatrix, ExecStats), RunError> {
+        let m = m.into();
+        let (nr, nc) = m.dims();
+        let mut env = RtEnv::new();
+        bind_matrix(&mut env, &self.synth.src, m)?;
+        let stats = self.execute_env(&mut env)?;
+        let out = extract_matrix(&env, &self.synth.dst, nr, nc)?;
+        Ok((out, stats))
+    }
+
+    /// Converts any order-3 tensor; the tensor analogue of
+    /// [`Conversion::run_matrix`].
+    ///
+    /// # Errors
+    /// Same contract as [`Conversion::run_matrix`].
+    pub fn run_tensor<'a>(
+        &self,
+        t: impl Into<TensorRef<'a>>,
+    ) -> Result<(AnyTensor, ExecStats), RunError> {
+        let t = t.into();
+        let dims = t.dims();
+        let mut env = RtEnv::new();
+        bind_tensor(&mut env, &self.synth.src, t)?;
+        let stats = self.execute_env(&mut env)?;
+        let out = extract_tensor(&env, &self.synth.dst, dims)?;
+        Ok((out, stats))
+    }
+
     /// Converts a COO matrix to CSR (destination descriptor must be
     /// CSR-shaped).
     ///
     /// # Errors
     /// Propagates execution errors and output validation failures.
     pub fn run_coo_to_csr(&self, m: &CooMatrix) -> Result<(CsrMatrix, ExecStats), RunError> {
-        let mut env = RtEnv::new();
-        bind_coo(&mut env, &self.synth.src, m);
-        let stats = self.execute_env(&mut env)?;
-        let out = extract_csr(&env, &self.synth.dst, m.nr, m.nc)?;
-        Ok((out, stats))
+        let (out, stats) = self.run_matrix(m)?;
+        Ok((expect_csr(out)?, stats))
     }
 
     /// Converts a COO matrix to CSC.
@@ -146,11 +191,8 @@ impl Conversion {
     /// # Errors
     /// Propagates execution errors and output validation failures.
     pub fn run_coo_to_csc(&self, m: &CooMatrix) -> Result<(CscMatrix, ExecStats), RunError> {
-        let mut env = RtEnv::new();
-        bind_coo(&mut env, &self.synth.src, m);
-        let stats = self.execute_env(&mut env)?;
-        let out = extract_csc(&env, &self.synth.dst, m.nr, m.nc)?;
-        Ok((out, stats))
+        let (out, stats) = self.run_matrix(m)?;
+        Ok((expect_csc(out)?, stats))
     }
 
     /// Converts a CSR matrix to CSC.
@@ -158,11 +200,8 @@ impl Conversion {
     /// # Errors
     /// Propagates execution errors and output validation failures.
     pub fn run_csr_to_csc(&self, m: &CsrMatrix) -> Result<(CscMatrix, ExecStats), RunError> {
-        let mut env = RtEnv::new();
-        bind_csr(&mut env, &self.synth.src, m);
-        let stats = self.execute_env(&mut env)?;
-        let out = extract_csc(&env, &self.synth.dst, m.nr, m.nc)?;
-        Ok((out, stats))
+        let (out, stats) = self.run_matrix(m)?;
+        Ok((expect_csc(out)?, stats))
     }
 
     /// Converts a CSR matrix to COO.
@@ -170,11 +209,8 @@ impl Conversion {
     /// # Errors
     /// Propagates execution errors and output validation failures.
     pub fn run_csr_to_coo(&self, m: &CsrMatrix) -> Result<(CooMatrix, ExecStats), RunError> {
-        let mut env = RtEnv::new();
-        bind_csr(&mut env, &self.synth.src, m);
-        let stats = self.execute_env(&mut env)?;
-        let out = extract_coo(&env, &self.synth.dst, m.nr, m.nc)?;
-        Ok((out, stats))
+        let (out, stats) = self.run_matrix(m)?;
+        Ok((expect_coo(out)?, stats))
     }
 
     /// Converts a COO matrix to DIA.
@@ -182,11 +218,11 @@ impl Conversion {
     /// # Errors
     /// Propagates execution errors and output validation failures.
     pub fn run_coo_to_dia(&self, m: &CooMatrix) -> Result<(DiaMatrix, ExecStats), RunError> {
-        let mut env = RtEnv::new();
-        bind_coo(&mut env, &self.synth.src, m);
-        let stats = self.execute_env(&mut env)?;
-        let out = extract_dia(&env, &self.synth.dst, m.nr, m.nc)?;
-        Ok((out, stats))
+        let (out, stats) = self.run_matrix(m)?;
+        match out {
+            AnyMatrix::Dia(d) => Ok((d, stats)),
+            other => Err(unexpected_output("dia", other.label())),
+        }
     }
 
     /// Converts a COO matrix to Morton-ordered COO.
@@ -197,11 +233,11 @@ impl Conversion {
         &self,
         m: &CooMatrix,
     ) -> Result<(MortonCooMatrix, ExecStats), RunError> {
-        let mut env = RtEnv::new();
-        bind_coo(&mut env, &self.synth.src, m);
-        let stats = self.execute_env(&mut env)?;
-        let out = extract_coo(&env, &self.synth.dst, m.nr, m.nc)?;
-        Ok((MortonCooMatrix::new(out)?, stats))
+        let (out, stats) = self.run_matrix(m)?;
+        match out {
+            AnyMatrix::MortonCoo(mc) => Ok((mc, stats)),
+            other => Err(unexpected_output("mcoo", other.label())),
+        }
     }
 
     /// Converts a COO matrix to sorted COO (row-major).
@@ -209,11 +245,8 @@ impl Conversion {
     /// # Errors
     /// Propagates execution errors and output validation failures.
     pub fn run_coo_to_scoo(&self, m: &CooMatrix) -> Result<(CooMatrix, ExecStats), RunError> {
-        let mut env = RtEnv::new();
-        bind_coo(&mut env, &self.synth.src, m);
-        let stats = self.execute_env(&mut env)?;
-        let out = extract_coo(&env, &self.synth.dst, m.nr, m.nc)?;
-        Ok((out, stats))
+        let (out, stats) = self.run_matrix(m)?;
+        Ok((expect_coo(out)?, stats))
     }
 
     /// Converts a CSC matrix to CSR.
@@ -221,11 +254,8 @@ impl Conversion {
     /// # Errors
     /// Propagates execution errors and output validation failures.
     pub fn run_csc_to_csr(&self, m: &CscMatrix) -> Result<(CsrMatrix, ExecStats), RunError> {
-        let mut env = RtEnv::new();
-        bind_csc(&mut env, &self.synth.src, m);
-        let stats = self.execute_env(&mut env)?;
-        let out = extract_csr(&env, &self.synth.dst, m.nr, m.nc)?;
-        Ok((out, stats))
+        let (out, stats) = self.run_matrix(m)?;
+        Ok((expect_csr(out)?, stats))
     }
 
     /// Converts a CSC matrix to COO (kept in the source's column-major
@@ -234,11 +264,8 @@ impl Conversion {
     /// # Errors
     /// Propagates execution errors and output validation failures.
     pub fn run_csc_to_coo(&self, m: &CscMatrix) -> Result<(CooMatrix, ExecStats), RunError> {
-        let mut env = RtEnv::new();
-        bind_csc(&mut env, &self.synth.src, m);
-        let stats = self.execute_env(&mut env)?;
-        let out = extract_coo(&env, &self.synth.dst, m.nr, m.nc)?;
-        Ok((out, stats))
+        let (out, stats) = self.run_matrix(m)?;
+        Ok((expect_coo(out)?, stats))
     }
 
     /// Converts an ELL matrix to CSR (compacting the padding).
@@ -246,11 +273,8 @@ impl Conversion {
     /// # Errors
     /// Propagates execution errors and output validation failures.
     pub fn run_ell_to_csr(&self, m: &EllMatrix) -> Result<(CsrMatrix, ExecStats), RunError> {
-        let mut env = RtEnv::new();
-        bind_ell(&mut env, &self.synth.src, m);
-        let stats = self.execute_env(&mut env)?;
-        let out = extract_csr(&env, &self.synth.dst, m.nr, m.nc)?;
-        Ok((out, stats))
+        let (out, stats) = self.run_matrix(m)?;
+        Ok((expect_csr(out)?, stats))
     }
 
     /// Converts an ELL matrix to COO.
@@ -258,11 +282,8 @@ impl Conversion {
     /// # Errors
     /// Propagates execution errors and output validation failures.
     pub fn run_ell_to_coo(&self, m: &EllMatrix) -> Result<(CooMatrix, ExecStats), RunError> {
-        let mut env = RtEnv::new();
-        bind_ell(&mut env, &self.synth.src, m);
-        let stats = self.execute_env(&mut env)?;
-        let out = extract_coo(&env, &self.synth.dst, m.nr, m.nc)?;
-        Ok((out, stats))
+        let (out, stats) = self.run_matrix(m)?;
+        Ok((expect_coo(out)?, stats))
     }
 
     /// Converts an order-3 COO tensor to Morton-ordered COO3.
@@ -273,11 +294,162 @@ impl Conversion {
         &self,
         t: &Coo3Tensor,
     ) -> Result<(MortonCoo3Tensor, ExecStats), RunError> {
-        let mut env = RtEnv::new();
-        bind_coo3(&mut env, &self.synth.src, t);
-        let stats = self.execute_env(&mut env)?;
-        let out = extract_coo3(&env, &self.synth.dst, (t.nr, t.nc, t.nz))?;
-        Ok((MortonCoo3Tensor::new(out)?, stats))
+        let (out, stats) = self.run_tensor(t)?;
+        match out {
+            AnyTensor::MortonCoo3(mt) => Ok((mt, stats)),
+            AnyTensor::Coo3(_) => Err(unexpected_output("mcoo3", "coo3")),
+        }
+    }
+}
+
+fn unexpected_output(wanted: &str, got: &str) -> RunError {
+    RunError::Unsupported(format!(
+        "destination descriptor produced `{got}`, caller expected `{wanted}`"
+    ))
+}
+
+fn expect_coo(out: AnyMatrix) -> Result<CooMatrix, RunError> {
+    match out {
+        AnyMatrix::Coo(m) => Ok(m),
+        other => Err(unexpected_output("coo", other.label())),
+    }
+}
+
+fn expect_csr(out: AnyMatrix) -> Result<CsrMatrix, RunError> {
+    match out {
+        AnyMatrix::Csr(m) => Ok(m),
+        other => Err(unexpected_output("csr", other.label())),
+    }
+}
+
+fn expect_csc(out: AnyMatrix) -> Result<CscMatrix, RunError> {
+    match out {
+        AnyMatrix::Csc(m) => Ok(m),
+        other => Err(unexpected_output("csc", other.label())),
+    }
+}
+
+/// Binds any rank-2 container as the conversion source, dispatching on
+/// the *descriptor's* structural kind and checking that the container
+/// matches it. Coordinate-kind descriptors (COO, sorted COO, Morton COO)
+/// accept either a bare [`CooMatrix`] or a [`MortonCooMatrix`] — the
+/// storage is identical; ordering is the descriptor's claim.
+///
+/// # Errors
+/// Returns [`RunError::Unsupported`] on a kind/container mismatch.
+pub fn bind_matrix(
+    env: &mut RtEnv,
+    desc: &FormatDescriptor,
+    m: MatrixRef<'_>,
+) -> Result<(), RunError> {
+    let kind = desc.kind();
+    match (kind, m) {
+        (FormatKind::Coo | FormatKind::SortedCoo | FormatKind::MortonCoo, MatrixRef::Coo(c)) => {
+            bind_coo(env, desc, c);
+        }
+        (
+            FormatKind::Coo | FormatKind::SortedCoo | FormatKind::MortonCoo,
+            MatrixRef::MortonCoo(mc),
+        ) => {
+            bind_coo(env, desc, &mc.coo);
+        }
+        (FormatKind::Csr, MatrixRef::Csr(c)) => bind_csr(env, desc, c),
+        (FormatKind::Csc, MatrixRef::Csc(c)) => bind_csc(env, desc, c),
+        (FormatKind::Dia, MatrixRef::Dia(d)) => bind_dia(env, desc, d),
+        (FormatKind::Ell, MatrixRef::Ell(e)) => bind_ell(env, desc, e),
+        (kind, m) => {
+            return Err(RunError::Unsupported(format!(
+                "cannot bind `{}` input under source descriptor `{}` (kind {kind:?})",
+                m.label(),
+                desc.name
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// Binds any order-3 container as the conversion source; tensor analogue
+/// of [`bind_matrix`].
+///
+/// # Errors
+/// Returns [`RunError::Unsupported`] on a kind/container mismatch.
+pub fn bind_tensor(
+    env: &mut RtEnv,
+    desc: &FormatDescriptor,
+    t: TensorRef<'_>,
+) -> Result<(), RunError> {
+    let kind = desc.kind();
+    match (kind, t) {
+        (FormatKind::Coo3 | FormatKind::MortonCoo3, TensorRef::Coo3(c)) => {
+            bind_coo3(env, desc, c);
+        }
+        (FormatKind::Coo3 | FormatKind::MortonCoo3, TensorRef::MortonCoo3(mc)) => {
+            bind_coo3(env, desc, &mc.coo);
+        }
+        (kind, t) => {
+            return Err(RunError::Unsupported(format!(
+                "cannot bind `{}` input under source descriptor `{}` (kind {kind:?})",
+                t.label(),
+                desc.name
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// Extracts whichever rank-2 container the destination descriptor's
+/// structural kind calls for, validating format invariants (including the
+/// Morton-order quantifier for Morton destinations).
+///
+/// # Errors
+/// Fails on missing outputs, invariant violations, or a destination kind
+/// with no extractor (ELL destinations are outside the synthesizable
+/// fragment: the padded width `ELLW` is not produced by the inspector).
+pub fn extract_matrix(
+    env: &RtEnv,
+    desc: &FormatDescriptor,
+    nr: usize,
+    nc: usize,
+) -> Result<AnyMatrix, RunError> {
+    match desc.kind() {
+        FormatKind::Coo | FormatKind::SortedCoo => {
+            Ok(AnyMatrix::Coo(extract_coo(env, desc, nr, nc)?))
+        }
+        FormatKind::MortonCoo => {
+            let coo = extract_coo(env, desc, nr, nc)?;
+            Ok(AnyMatrix::MortonCoo(MortonCooMatrix::new(coo)?))
+        }
+        FormatKind::Csr => Ok(AnyMatrix::Csr(extract_csr(env, desc, nr, nc)?)),
+        FormatKind::Csc => Ok(AnyMatrix::Csc(extract_csc(env, desc, nr, nc)?)),
+        FormatKind::Dia => Ok(AnyMatrix::Dia(extract_dia(env, desc, nr, nc)?)),
+        kind => Err(RunError::Unsupported(format!(
+            "no extractor for destination descriptor `{}` (kind {kind:?})",
+            desc.name
+        ))),
+    }
+}
+
+/// Extracts whichever order-3 container the destination descriptor's
+/// structural kind calls for; tensor analogue of [`extract_matrix`].
+///
+/// # Errors
+/// Fails on missing outputs, invariant violations, or an unsupported
+/// destination kind.
+pub fn extract_tensor(
+    env: &RtEnv,
+    desc: &FormatDescriptor,
+    dims: (usize, usize, usize),
+) -> Result<AnyTensor, RunError> {
+    match desc.kind() {
+        FormatKind::Coo3 => Ok(AnyTensor::Coo3(extract_coo3(env, desc, dims)?)),
+        FormatKind::MortonCoo3 => {
+            let coo = extract_coo3(env, desc, dims)?;
+            Ok(AnyTensor::MortonCoo3(MortonCoo3Tensor::new(coo)?))
+        }
+        kind => Err(RunError::Unsupported(format!(
+            "no tensor extractor for destination descriptor `{}` (kind {kind:?})",
+            desc.name
+        ))),
     }
 }
 

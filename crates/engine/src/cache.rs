@@ -1,0 +1,224 @@
+//! The plan cache: synthesized conversions keyed by structural
+//! fingerprint, with LRU eviction and synthesize-exactly-once semantics
+//! under concurrency.
+//!
+//! A cache entry is an [`Arc<PlanSlot>`]: the slot is inserted into the
+//! map *before* synthesis runs, and the plan itself lives in a
+//! [`OnceLock`] inside the slot. Concurrent requests for the same key
+//! therefore all land on one slot, exactly one of them runs synthesis
+//! inside `get_or_init`, and the rest block on the lock rather than
+//! duplicating the (expensive) synthesis work. The outer [`RwLock`] is
+//! only held for map lookups/inserts, never across synthesis.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// One cache entry. `last_used` is a logical timestamp from the cache's
+/// global tick, bumped on every touch; eviction removes the minimum.
+struct PlanSlot<T> {
+    cell: OnceLock<Result<Arc<T>, String>>,
+    last_used: AtomicU64,
+}
+
+/// Outcome of a [`PlanCache::get_or_insert_with`] call, so the caller can
+/// account hits/misses precisely.
+pub enum Lookup<T> {
+    /// The plan was already cached (the call may still have blocked
+    /// briefly while another thread finished synthesizing it).
+    Hit(Arc<T>),
+    /// This call ran the builder.
+    Miss(Arc<T>),
+    /// The builder failed (this call's, or a concurrent one whose failure
+    /// this call observed). Failed entries are evicted so later calls
+    /// retry.
+    Failed(String),
+}
+
+/// An LRU map from `u64` fingerprints to shared plans.
+pub struct PlanCache<T> {
+    map: RwLock<HashMap<u64, Arc<PlanSlot<T>>>>,
+    capacity: usize,
+    tick: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<T> PlanCache<T> {
+    /// A cache holding at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            map: RwLock::new(HashMap::new()),
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of cached plans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of plans evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Number of currently cached plans.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("plan cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached plan.
+    pub fn clear(&self) {
+        self.map.write().expect("plan cache poisoned").clear();
+    }
+
+    fn touch(&self, slot: &PlanSlot<T>) {
+        let now = self.tick.fetch_add(1, Ordering::Relaxed);
+        slot.last_used.store(now, Ordering::Relaxed);
+    }
+
+    /// Returns the plan for `key`, running `build` to create it if (and
+    /// only if) no other call has. Exactly one builder runs per cached
+    /// lifetime of a key, no matter how many threads race.
+    pub fn get_or_insert_with(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Result<T, String>,
+    ) -> Lookup<T> {
+        // Fast path: shared lock only.
+        let existing = {
+            let map = self.map.read().expect("plan cache poisoned");
+            map.get(&key).cloned()
+        };
+        let slot = match existing {
+            Some(slot) => slot,
+            None => {
+                let mut map = self.map.write().expect("plan cache poisoned");
+                // Recheck under the exclusive lock: another thread may
+                // have inserted while we upgraded.
+                if let Some(slot) = map.get(&key) {
+                    Arc::clone(slot)
+                } else {
+                    if map.len() >= self.capacity {
+                        evict_lru(&mut map);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let slot = Arc::new(PlanSlot {
+                        cell: OnceLock::new(),
+                        last_used: AtomicU64::new(0),
+                    });
+                    map.insert(key, Arc::clone(&slot));
+                    slot
+                }
+            }
+        };
+        self.touch(&slot);
+
+        let mut built_here = false;
+        let outcome = slot
+            .cell
+            .get_or_init(|| {
+                built_here = true;
+                build().map(Arc::new)
+            })
+            .clone();
+        match outcome {
+            Ok(plan) if built_here => Lookup::Miss(plan),
+            Ok(plan) => Lookup::Hit(plan),
+            Err(msg) => {
+                // Drop the failed slot so a later request can retry
+                // (whoever gets there first removes it; identity-checked
+                // so we never evict a fresh replacement slot).
+                let mut map = self.map.write().expect("plan cache poisoned");
+                if map.get(&key).is_some_and(|s| Arc::ptr_eq(s, &slot)) {
+                    map.remove(&key);
+                }
+                Lookup::Failed(msg)
+            }
+        }
+    }
+}
+
+fn evict_lru<T>(map: &mut HashMap<u64, Arc<PlanSlot<T>>>) {
+    if let Some((&victim, _)) = map
+        .iter()
+        .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+    {
+        map.remove(&victim);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(cache: &PlanCache<u32>, key: u64, value: u32) -> (u32, bool) {
+        match cache.get_or_insert_with(key, || Ok(value)) {
+            Lookup::Hit(v) => (*v, true),
+            Lookup::Miss(v) => (*v, false),
+            Lookup::Failed(e) => panic!("unexpected failure: {e}"),
+        }
+    }
+
+    #[test]
+    fn caches_and_reports_hits() {
+        let cache = PlanCache::new(4);
+        assert_eq!(get(&cache, 1, 10), (10, false));
+        // Second call must return the cached value, not rebuild.
+        assert_eq!(get(&cache, 1, 99), (10, true));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = PlanCache::new(2);
+        get(&cache, 1, 10);
+        get(&cache, 2, 20);
+        get(&cache, 1, 10); // key 2 is now LRU
+        get(&cache, 3, 30); // evicts key 2
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(get(&cache, 1, 99), (10, true), "key 1 survived");
+        assert_eq!(get(&cache, 2, 21), (21, false), "key 2 was evicted");
+    }
+
+    #[test]
+    fn failed_builds_are_retried() {
+        let cache = PlanCache::new(2);
+        let Lookup::Failed(msg) = cache.get_or_insert_with(7, || Err("boom".into())) else {
+            panic!("expected failure");
+        };
+        assert_eq!(msg, "boom");
+        assert!(cache.is_empty());
+        assert_eq!(get(&cache, 7, 70), (70, false), "retried after failure");
+    }
+
+    #[test]
+    fn concurrent_requests_build_once() {
+        use std::sync::atomic::AtomicUsize;
+        let cache = PlanCache::new(4);
+        let builds = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        match cache.get_or_insert_with(1, || {
+                            builds.fetch_add(1, Ordering::Relaxed);
+                            Ok(42u32)
+                        }) {
+                            Lookup::Hit(v) | Lookup::Miss(v) => assert_eq!(*v, 42),
+                            Lookup::Failed(e) => panic!("{e}"),
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+    }
+}

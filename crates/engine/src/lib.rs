@@ -1,0 +1,320 @@
+//! The conversion-engine serving layer.
+//!
+//! `sparse-synthesis` answers "given a source and destination format
+//! descriptor, synthesize an inspector and run it once". This crate turns
+//! that into a long-lived service:
+//!
+//! * **Plan caching** — synthesis costs orders of magnitude more than
+//!   executing the resulting inspector on small/medium inputs, so the
+//!   engine caches compiled [`Conversion`] plans keyed by a *structural*
+//!   fingerprint of `(source, destination, options)`. Equal-by-structure
+//!   descriptors share a plan regardless of name or instance identity;
+//!   a warm cache performs **zero** synthesis. The cache is an LRU with
+//!   configurable capacity and synthesize-exactly-once semantics under
+//!   concurrency (see [`cache`]).
+//! * **Generic dispatch** — [`Engine::convert`] accepts any
+//!   [`AnyMatrix`] and returns whichever container the destination
+//!   descriptor's structural [`FormatKind`](sparse_formats::FormatKind)
+//!   calls for; no per-pair entry points.
+//! * **Batch parallelism** — [`Engine::convert_batch`] fans a slice of
+//!   inputs over scoped worker threads that share one cached plan
+//!   (`Arc<Conversion>`); each execution builds its own interpreter
+//!   environment, and outputs come back in input order.
+//! * **Observability** — [`Engine::stats`] snapshots hit/miss/eviction
+//!   counters, conversion and nnz totals, and cumulative synthesis vs
+//!   execution time.
+//!
+//! ```
+//! use sparse_engine::Engine;
+//! use sparse_formats::{descriptors, AnyMatrix, CooMatrix};
+//!
+//! let engine = Engine::new();
+//! let coo = CooMatrix::from_triplets(
+//!     2, 2, vec![0, 1], vec![1, 0], vec![1.0, 2.0],
+//! ).unwrap();
+//! let src = descriptors::coo();
+//! let dst = descriptors::csr();
+//! let out = engine.convert(&src, &dst, &AnyMatrix::Coo(coo)).unwrap();
+//! assert!(matches!(out, AnyMatrix::Csr(_)));
+//! // A second conversion reuses the cached plan: no synthesis.
+//! assert_eq!(engine.stats().plans_synthesized, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+mod stats;
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use sparse_formats::descriptors::StructuralHasher;
+use sparse_formats::{AnyMatrix, AnyTensor, FormatDescriptor};
+use sparse_synthesis::{Conversion, RunError, SynthesisOptions};
+
+use cache::{Lookup, PlanCache};
+use stats::StatsInner;
+pub use stats::EngineStats;
+
+/// Errors raised by the engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Synthesizing or lowering the plan failed. Carried as the rendered
+    /// message because failures are cached briefly and shared across
+    /// threads.
+    Plan(String),
+    /// Running a plan failed (dispatch mismatch, execution, or output
+    /// validation).
+    Run(RunError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Plan(m) => write!(f, "planning failed: {m}"),
+            EngineError::Run(e) => write!(f, "conversion failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<RunError> for EngineError {
+    fn from(e: RunError) -> Self {
+        EngineError::Run(e)
+    }
+}
+
+/// Engine construction knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Maximum number of cached plans (LRU beyond this). Minimum 1.
+    pub capacity: usize,
+    /// Worker threads for [`Engine::convert_batch`]. `0` means "use
+    /// available parallelism".
+    pub threads: usize,
+    /// Synthesis options baked into every plan this engine builds (and
+    /// into the cache key, so engines with different options never share
+    /// a fingerprint).
+    pub options: SynthesisOptions,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            capacity: 64,
+            threads: 0,
+            options: SynthesisOptions::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+/// A thread-safe conversion service with a shared plan cache.
+///
+/// Cheap to share by reference across threads (`&Engine` is all the batch
+/// workers use); every method takes `&self`.
+pub struct Engine {
+    config: EngineConfig,
+    cache: PlanCache<Conversion>,
+    stats: StatsInner,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+// The whole point of the engine is to be shared across threads; keep
+// that guarantee from regressing (e.g. an `Rc` sneaking back into
+// `Conversion`'s comparators).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+};
+
+impl Engine {
+    /// An engine with [`EngineConfig::default`].
+    pub fn new() -> Self {
+        Engine::with_config(EngineConfig::default())
+    }
+
+    /// An engine with explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        Engine {
+            cache: PlanCache::new(config.capacity),
+            config,
+            stats: StatsInner::default(),
+        }
+    }
+
+    /// This engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The cache key for a `(src, dst, options)` triple: both structural
+    /// descriptor fingerprints plus the option flags. Exposed so callers
+    /// can correlate engine behavior with specific pairs.
+    pub fn plan_fingerprint(
+        src: &FormatDescriptor,
+        dst: &FormatDescriptor,
+        options: SynthesisOptions,
+    ) -> u64 {
+        let mut h = StructuralHasher::new();
+        h.write_u64(src.fingerprint());
+        h.write_u64(dst.fingerprint());
+        h.write_u64(options.optimize as u64);
+        h.write_u64(options.binary_search as u64);
+        h.finish()
+    }
+
+    /// Returns the compiled plan for `src → dst` under this engine's
+    /// options, synthesizing at most once per cached lifetime of the
+    /// pair.
+    ///
+    /// # Errors
+    /// Propagates synthesis/lowering failures (which are *not* cached:
+    /// a later call retries).
+    pub fn plan(
+        &self,
+        src: &FormatDescriptor,
+        dst: &FormatDescriptor,
+    ) -> Result<Arc<Conversion>, EngineError> {
+        let options = self.config.options;
+        let key = Engine::plan_fingerprint(src, dst, options);
+        StatsInner::add(&self.stats.plan_lookups, 1);
+        let lookup = self.cache.get_or_insert_with(key, || {
+            let t0 = Instant::now();
+            let built = Conversion::new(src, dst, options).map_err(|e| e.to_string());
+            StatsInner::add(&self.stats.synth_nanos, t0.elapsed().as_nanos() as u64);
+            match &built {
+                Ok(_) => StatsInner::add(&self.stats.plans_synthesized, 1),
+                Err(_) => StatsInner::add(&self.stats.plan_failures, 1),
+            }
+            built
+        });
+        match lookup {
+            Lookup::Hit(plan) | Lookup::Miss(plan) => Ok(plan),
+            Lookup::Failed(msg) => Err(EngineError::Plan(msg)),
+        }
+    }
+
+    /// Converts one matrix from `src` to `dst`, returning the container
+    /// the destination descriptor calls for.
+    ///
+    /// # Errors
+    /// Fails on planning failures, a source/container mismatch, or
+    /// execution/validation errors.
+    pub fn convert(
+        &self,
+        src: &FormatDescriptor,
+        dst: &FormatDescriptor,
+        input: &AnyMatrix,
+    ) -> Result<AnyMatrix, EngineError> {
+        let plan = self.plan(src, dst)?;
+        self.execute_one(&plan, input)
+    }
+
+    /// Converts one order-3 tensor from `src` to `dst`.
+    ///
+    /// # Errors
+    /// Same contract as [`Engine::convert`].
+    pub fn convert_tensor(
+        &self,
+        src: &FormatDescriptor,
+        dst: &FormatDescriptor,
+        input: &AnyTensor,
+    ) -> Result<AnyTensor, EngineError> {
+        let plan = self.plan(src, dst)?;
+        let nnz = input.nnz();
+        let t0 = Instant::now();
+        let out = plan.run_tensor(input.as_ref()).map(|(out, _)| out);
+        StatsInner::add(&self.stats.exec_nanos, t0.elapsed().as_nanos() as u64);
+        StatsInner::add(&self.stats.conversions, 1);
+        StatsInner::add(&self.stats.nnz_moved, nnz as u64);
+        Ok(out?)
+    }
+
+    /// Converts a batch of matrices from `src` to `dst` across this
+    /// engine's worker threads.
+    ///
+    /// The plan is synthesized (or fetched) once and shared; inputs are
+    /// split into contiguous chunks, one scoped thread per chunk, and
+    /// each conversion builds its own interpreter environment. Outputs
+    /// are returned **in input order** regardless of scheduling; on
+    /// multiple failures the lowest-index error wins, so results are
+    /// deterministic either way.
+    ///
+    /// # Errors
+    /// Fails on planning failure or the first (by index) per-element
+    /// failure.
+    pub fn convert_batch(
+        &self,
+        src: &FormatDescriptor,
+        dst: &FormatDescriptor,
+        inputs: &[AnyMatrix],
+    ) -> Result<Vec<AnyMatrix>, EngineError> {
+        let plan = self.plan(src, dst)?;
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let workers = self.config.effective_threads().clamp(1, inputs.len());
+        if workers == 1 {
+            return inputs.iter().map(|m| self.execute_one(&plan, m)).collect();
+        }
+
+        let chunk = inputs.len().div_ceil(workers);
+        let mut results: Vec<Option<Result<AnyMatrix, EngineError>>> = Vec::new();
+        results.resize_with(inputs.len(), || None);
+        std::thread::scope(|scope| {
+            for (in_chunk, out_chunk) in inputs.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                let plan = &plan;
+                scope.spawn(move || {
+                    for (input, out) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *out = Some(self.execute_one(plan, input));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every batch slot is written by its worker"))
+            .collect()
+    }
+
+    /// A point-in-time snapshot of this engine's counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats.snapshot(self.cache.evictions(), self.cache.len())
+    }
+
+    /// Drops every cached plan (counters are kept).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    fn execute_one(
+        &self,
+        plan: &Conversion,
+        input: &AnyMatrix,
+    ) -> Result<AnyMatrix, EngineError> {
+        let nnz = input.nnz();
+        let t0 = Instant::now();
+        let out = plan.run_matrix(input.as_ref()).map(|(out, _)| out);
+        StatsInner::add(&self.stats.exec_nanos, t0.elapsed().as_nanos() as u64);
+        StatsInner::add(&self.stats.conversions, 1);
+        StatsInner::add(&self.stats.nnz_moved, nnz as u64);
+        Ok(out?)
+    }
+}

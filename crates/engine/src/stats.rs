@@ -1,0 +1,72 @@
+//! Engine counters: lock-free atomics updated on the hot path, snapshot
+//! into a plain [`EngineStats`] value on demand.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Internal atomic counters; one instance per [`crate::Engine`].
+#[derive(Debug, Default)]
+pub(crate) struct StatsInner {
+    pub plan_lookups: AtomicU64,
+    pub plans_synthesized: AtomicU64,
+    pub plan_failures: AtomicU64,
+    pub conversions: AtomicU64,
+    pub nnz_moved: AtomicU64,
+    pub synth_nanos: AtomicU64,
+    pub exec_nanos: AtomicU64,
+}
+
+impl StatsInner {
+    pub fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self, evictions: u64, cached_plans: usize) -> EngineStats {
+        let lookups = self.plan_lookups.load(Ordering::Relaxed);
+        let synthesized = self.plans_synthesized.load(Ordering::Relaxed);
+        let failures = self.plan_failures.load(Ordering::Relaxed);
+        let misses = synthesized + failures;
+        EngineStats {
+            plans_synthesized: synthesized,
+            cache_hits: lookups.saturating_sub(misses),
+            cache_misses: misses,
+            cache_evictions: evictions,
+            cached_plans,
+            conversions: self.conversions.load(Ordering::Relaxed),
+            nnz_moved: self.nnz_moved.load(Ordering::Relaxed),
+            synth_time: Duration::from_nanos(self.synth_nanos.load(Ordering::Relaxed)),
+            exec_time: Duration::from_nanos(self.exec_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time snapshot of an engine's counters.
+///
+/// Counters are monotone over the engine's lifetime (except
+/// `cached_plans`, which tracks current occupancy), so rates can be
+/// computed by differencing two snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Plans built by the synthesizer (equivalently: cache misses that
+    /// succeeded). A warm cache leaves this unchanged.
+    pub plans_synthesized: u64,
+    /// Plan lookups answered from the cache without synthesizing.
+    pub cache_hits: u64,
+    /// Plan lookups that had to synthesize (or observed a synthesis
+    /// failure).
+    pub cache_misses: u64,
+    /// Plans dropped to make room under the capacity limit.
+    pub cache_evictions: u64,
+    /// Plans currently resident in the cache.
+    pub cached_plans: usize,
+    /// Conversions executed (each batch element counts once).
+    pub conversions: u64,
+    /// Total stored entries moved across all conversions (input nnz,
+    /// padding excluded).
+    pub nnz_moved: u64,
+    /// Cumulative wall time spent in synthesis + lowering.
+    pub synth_time: Duration,
+    /// Cumulative wall time spent executing inspectors (summed across
+    /// batch workers, so it can exceed wall-clock under parallelism).
+    pub exec_time: Duration,
+}

@@ -1,0 +1,107 @@
+//! Concurrency contracts: N threads hammering one engine synthesize a
+//! shared plan exactly once, and `convert_batch` agrees element-for-
+//! element with sequential `convert`.
+
+use sparse_engine::{Engine, EngineConfig};
+use sparse_formats::descriptors;
+use sparse_formats::{AnyMatrix, CooMatrix};
+
+fn sample_scoo(nr: usize, nc: usize, stride: usize, salt: u64) -> CooMatrix {
+    let mut row = Vec::new();
+    let mut col = Vec::new();
+    let mut val = Vec::new();
+    for k in (0..nr * nc).step_by(stride) {
+        row.push((k / nc) as i64);
+        col.push((k % nc) as i64);
+        val.push((k as u64 * 31 + salt) as f64);
+    }
+    CooMatrix::from_triplets(nr, nc, row, col, val).unwrap()
+}
+
+#[test]
+fn n_threads_synthesize_exactly_once() {
+    const THREADS: usize = 8;
+    const CONVERTS: usize = 10;
+    let engine = Engine::new();
+    let src = descriptors::scoo();
+    let dst = descriptors::csr();
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let engine = &engine;
+            let src = &src;
+            let dst = &dst;
+            s.spawn(move || {
+                let input = AnyMatrix::Coo(sample_scoo(12, 12, 3, t as u64));
+                for _ in 0..CONVERTS {
+                    let out = engine.convert(src, dst, &input).unwrap();
+                    assert!(matches!(out, AnyMatrix::Csr(_)));
+                }
+            });
+        }
+    });
+
+    let stats = engine.stats();
+    assert_eq!(
+        stats.plans_synthesized, 1,
+        "{THREADS} threads x {CONVERTS} converts must share one synthesis"
+    );
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.cache_hits, (THREADS * CONVERTS) as u64 - 1);
+    assert_eq!(stats.conversions, (THREADS * CONVERTS) as u64);
+}
+
+#[test]
+fn batch_matches_sequential_element_for_element() {
+    let src = descriptors::scoo();
+    let dst = descriptors::csr();
+    let inputs: Vec<AnyMatrix> = (0..13)
+        .map(|i| AnyMatrix::Coo(sample_scoo(10 + i, 9 + i, 2 + i % 3, i as u64)))
+        .collect();
+
+    let sequential = Engine::new();
+    let expected: Vec<AnyMatrix> = inputs
+        .iter()
+        .map(|m| sequential.convert(&src, &dst, m).unwrap())
+        .collect();
+
+    for threads in [1, 2, 4, 32] {
+        let parallel =
+            Engine::with_config(EngineConfig { threads, ..Default::default() });
+        let got = parallel.convert_batch(&src, &dst, &inputs).unwrap();
+        assert_eq!(got, expected, "threads={threads}: order or content diverged");
+        let stats = parallel.stats();
+        assert_eq!(stats.plans_synthesized, 1, "threads={threads}");
+        assert_eq!(stats.conversions, inputs.len() as u64, "threads={threads}");
+    }
+}
+
+#[test]
+fn batch_handles_empty_and_single_inputs() {
+    let engine = Engine::new();
+    let src = descriptors::scoo();
+    let dst = descriptors::csc();
+    assert_eq!(engine.convert_batch(&src, &dst, &[]).unwrap(), Vec::new());
+    let one = vec![AnyMatrix::Coo(sample_scoo(7, 7, 2, 0))];
+    let got = engine.convert_batch(&src, &dst, &one).unwrap();
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0], engine.convert(&src, &dst, &one[0]).unwrap());
+}
+
+#[test]
+fn batch_error_reports_lowest_failing_index_deterministically() {
+    let engine = Engine::with_config(EngineConfig { threads: 4, ..Default::default() });
+    let src = descriptors::scoo();
+    let dst = descriptors::csr();
+    // Second half of the batch has the wrong container for the source
+    // descriptor; the batch must fail the same way every time.
+    let mut inputs: Vec<AnyMatrix> = (0..6)
+        .map(|i| AnyMatrix::Coo(sample_scoo(8, 8, 2, i)))
+        .collect();
+    let csr = sparse_formats::CsrMatrix::from_coo(&sample_scoo(8, 8, 2, 0));
+    inputs.push(AnyMatrix::Csr(csr));
+    let e1 = engine.convert_batch(&src, &dst, &inputs).unwrap_err().to_string();
+    let e2 = engine.convert_batch(&src, &dst, &inputs).unwrap_err().to_string();
+    assert_eq!(e1, e2);
+    assert!(e1.contains("csr"), "{e1}");
+}

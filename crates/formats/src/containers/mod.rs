@@ -3,6 +3,7 @@
 //! invariants, reference conversions (the test oracles for synthesized
 //! code), and per-format SpMV/TTV kernels.
 
+pub mod any;
 pub mod bcsr;
 pub mod coo;
 pub mod csc;
@@ -14,6 +15,7 @@ pub mod ell;
 pub mod hicoo;
 pub mod mcoo;
 
+pub use any::{AnyMatrix, AnyTensor, MatrixRef, TensorRef};
 pub use bcsr::BcsrMatrix;
 pub use coo::{Coo3Tensor, CooMatrix};
 pub use csc::CscMatrix;

@@ -20,6 +20,7 @@
 //! pre-simplified so the code generator can scan it directly).
 
 use std::collections::BTreeMap;
+use std::fmt::{self, Write as _};
 
 use spf_ir::expr::{Atom, LinExpr, VarId};
 use spf_ir::formula::{Relation, Set};
@@ -83,7 +84,244 @@ pub struct FormatDescriptor {
     pub contiguous_data: bool,
 }
 
+/// The classification of a descriptor onto a runtime container family,
+/// derived from the descriptor's *structure* (monotonic pointer UFs,
+/// stored-coordinate UFs, data contiguity, and order key) rather than its
+/// name. Generic bind/extract dispatch keys on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FormatKind {
+    /// Unordered coordinate storage ([`crate::CooMatrix`]).
+    Coo,
+    /// Lexicographically ordered coordinate storage (row- or column-major;
+    /// container is still [`crate::CooMatrix`]).
+    SortedCoo,
+    /// Morton-ordered coordinate storage ([`crate::MortonCooMatrix`]).
+    MortonCoo,
+    /// Compressed rows ([`crate::CsrMatrix`]).
+    Csr,
+    /// Compressed columns ([`crate::CscMatrix`]).
+    Csc,
+    /// Diagonal storage ([`crate::DiaMatrix`]).
+    Dia,
+    /// Padded slot-per-row storage ([`crate::EllMatrix`]).
+    Ell,
+    /// Order-3 coordinate storage ([`crate::Coo3Tensor`]), sorted or not.
+    Coo3,
+    /// Morton-ordered order-3 coordinates ([`crate::MortonCoo3Tensor`]).
+    MortonCoo3,
+    /// No runtime container maps onto this descriptor (e.g. BCSR, whose
+    /// blocked map is outside the synthesizable fragment).
+    Unsupported,
+}
+
+/// FNV-1a, the stable structural hash behind
+/// [`FormatDescriptor::fingerprint`]. Not `DefaultHasher`: descriptor
+/// fingerprints key the conversion-engine plan cache and must be
+/// identical across processes and builds.
+#[derive(Debug, Clone)]
+pub struct StructuralHasher {
+    state: u64,
+}
+
+impl StructuralHasher {
+    /// Fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        StructuralHasher { state: 0xcbf2_9ce4_8422_2325 }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// Absorbs a length-prefixed string (prefixing prevents adjacent
+    /// fields from sliding into each other).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// Absorbs a value's `Display` rendering without materializing it as
+    /// a `String` (the fingerprint sits on the engine's warm path, where
+    /// per-lookup allocations would dominate a cache hit). Framed by a
+    /// trailing length, equivalent in collision resistance to
+    /// [`StructuralHasher::write_str`]'s leading one.
+    pub fn write_display(&mut self, value: impl fmt::Display) {
+        struct Absorb<'a> {
+            h: &'a mut StructuralHasher,
+            n: u64,
+        }
+        impl fmt::Write for Absorb<'_> {
+            fn write_str(&mut self, s: &str) -> fmt::Result {
+                self.h.write(s.as_bytes());
+                self.n += s.len() as u64;
+                Ok(())
+            }
+        }
+        let mut sink = Absorb { h: self, n: 0 };
+        let _ = write!(sink, "{value}");
+        let n = sink.n;
+        self.write_u64(n);
+    }
+
+    /// Absorbs a `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The accumulated 64-bit hash.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for StructuralHasher {
+    fn default() -> Self {
+        StructuralHasher::new()
+    }
+}
+
 impl FormatDescriptor {
+    /// A stable 64-bit fingerprint of this descriptor's *structural
+    /// content*: the sparse-to-dense and data-access relations, every UF
+    /// signature (name, domain, range, monotonicity), the scan info, the
+    /// order key, and the shape/data symbols.
+    ///
+    /// Two clones always agree; any structural edit (changing a UF
+    /// domain, the order key, a relation constraint, …) changes the
+    /// fingerprint. The conversion engine keys its plan cache on this, so
+    /// the hash is deterministic across processes (FNV-1a over canonical
+    /// renderings, never pointer or `HashMap`-order identity).
+    pub fn fingerprint(&self) -> u64 {
+        // Deliberately skips `self.name`: the fingerprint captures what
+        // the descriptor *means*, so renaming a format (or reusing a
+        // descriptor under another label) still hits the same cached plan.
+        let mut h = StructuralHasher::new();
+        h.write_u64(self.rank as u64);
+        h.write_display(&self.sparse_to_dense);
+        h.write_display(&self.data_access);
+        match &self.scan {
+            None => h.write_u64(0),
+            Some(scan) => {
+                h.write_u64(1);
+                h.write_display(&scan.set);
+                h.write_u64(scan.dense_pos.len() as u64);
+                for &p in &scan.dense_pos {
+                    h.write_u64(p as u64);
+                }
+                h.write_display(&scan.data_index);
+            }
+        }
+        // UfEnvironment iterates in deterministic (name) order.
+        h.write_u64(self.ufs.iter().count() as u64);
+        for sig in self.ufs.iter() {
+            h.write_str(&sig.name);
+            h.write_u64(sig.arity as u64);
+            h.write_display(&sig.domain);
+            h.write_display(&sig.range);
+            match sig.monotonicity {
+                None => h.write_u64(0),
+                Some(m) => {
+                    h.write_u64(1);
+                    h.write_display(m);
+                }
+            }
+        }
+        match &self.order {
+            None => h.write_u64(0),
+            Some(k) => {
+                h.write_u64(1);
+                h.write_display(k);
+            }
+        }
+        h.write_str(&self.data_name);
+        h.write_u64(self.data_size.len() as u64);
+        for e in &self.data_size {
+            h.write_display(e);
+        }
+        h.write_u64(self.dim_syms.len() as u64);
+        for s in &self.dim_syms {
+            h.write_str(s);
+        }
+        h.write_str(&self.nnz_sym);
+        h.write_u64(self.extra_syms.len() as u64);
+        for s in &self.extra_syms {
+            h.write_str(s);
+        }
+        h.write_u64(self.coord_ufs.len() as u64);
+        for c in &self.coord_ufs {
+            match c {
+                None => h.write_u64(0),
+                Some(n) => {
+                    h.write_u64(1);
+                    h.write_str(n);
+                }
+            }
+        }
+        h.write_u64(self.contiguous_data as u64);
+        h.finish()
+    }
+
+    /// Classifies this descriptor onto a runtime container family (see
+    /// [`FormatKind`]) from its structure alone.
+    pub fn kind(&self) -> FormatKind {
+        use spf_ir::order::Comparator;
+        let pointer = self
+            .ufs
+            .iter()
+            .find(|s| s.monotonicity == Some(spf_ir::uf::Monotonicity::NonDecreasing));
+        let increasing = self
+            .ufs
+            .iter()
+            .any(|s| s.monotonicity == Some(spf_ir::uf::Monotonicity::Increasing));
+        match self.rank {
+            2 => {
+                if pointer.is_some() {
+                    // Compressed along one dimension: the stored
+                    // coordinate UF says which.
+                    if self.coord_ufs.get(1).is_some_and(Option::is_some) {
+                        FormatKind::Csr
+                    } else if self.coord_ufs.first().is_some_and(Option::is_some) {
+                        FormatKind::Csc
+                    } else {
+                        FormatKind::Unsupported
+                    }
+                } else if !self.contiguous_data {
+                    // Padded layouts: DIA declares a strictly increasing
+                    // offset UF, ELL a plain padded column UF.
+                    if increasing && self.extra_syms.len() == 1 {
+                        FormatKind::Dia
+                    } else if self.extra_syms.len() == 1 {
+                        FormatKind::Ell
+                    } else {
+                        FormatKind::Unsupported
+                    }
+                } else if self.coord_ufs.iter().all(Option::is_some) {
+                    match &self.order {
+                        None => FormatKind::Coo,
+                        Some(k) if k.comparator == Comparator::Morton => FormatKind::MortonCoo,
+                        Some(_) => FormatKind::SortedCoo,
+                    }
+                } else {
+                    FormatKind::Unsupported
+                }
+            }
+            3 => {
+                if !self.contiguous_data || !self.coord_ufs.iter().all(Option::is_some) {
+                    return FormatKind::Unsupported;
+                }
+                match &self.order {
+                    Some(k) if k.comparator == Comparator::Morton => FormatKind::MortonCoo3,
+                    _ => FormatKind::Coo3,
+                }
+            }
+            _ => FormatKind::Unsupported,
+        }
+    }
+
     /// Renders the paper's universal-quantifier column for this format:
     /// the reordering quantifier (if any) followed by each monotonic
     /// quantifier.

@@ -31,8 +31,11 @@ pub mod descriptors;
 pub mod error;
 
 pub use containers::{
-    BcsrMatrix, Coo3Tensor, CooMatrix, CscMatrix, CsfTensor, CsrMatrix, DenseMatrix,
-    DiaMatrix, EllMatrix, HicooTensor, MortonCoo3Tensor, MortonCooMatrix,
+    AnyMatrix, AnyTensor, BcsrMatrix, Coo3Tensor, CooMatrix, CscMatrix, CsfTensor, CsrMatrix,
+    DenseMatrix, DiaMatrix, EllMatrix, HicooTensor, MatrixRef, MortonCoo3Tensor,
+    MortonCooMatrix, TensorRef,
 };
-pub use descriptors::{domain_alloc_size, range_max, FormatDescriptor, ScanInfo};
+pub use descriptors::{
+    domain_alloc_size, range_max, FormatDescriptor, FormatKind, ScanInfo, StructuralHasher,
+};
 pub use error::FormatError;

@@ -11,7 +11,7 @@
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use spf_codegen::ast::{CmpOp, Cond, Expr, SlotAlloc, Stmt as AStmt};
 use spf_codegen::cemit::emit_c_function;
@@ -67,7 +67,7 @@ impl From<ScanError> for LowerError {
 /// full definitions for functions appearing only in universal quantifiers;
 /// this registry is where those definitions live at run time.
 pub type ComparatorRegistry =
-    BTreeMap<String, Rc<dyn Fn(&[i64], &[i64]) -> CmpOrdering>>;
+    BTreeMap<String, Arc<dyn Fn(&[i64], &[i64]) -> CmpOrdering + Send + Sync>>;
 
 /// An SPF computation: ordered statements plus the set of live-out data
 /// spaces used by dead-code elimination.
@@ -627,7 +627,7 @@ mod tests {
         assert!(matches!(err, ExecError::UnboundList(_)));
 
         let mut reg = ComparatorRegistry::new();
-        reg.insert("REVLEX".into(), Rc::new(|a: &[i64], b: &[i64]| b.cmp(a)));
+        reg.insert("REVLEX".into(), Arc::new(|a: &[i64], b: &[i64]| b.cmp(a)));
         let mut env = RtEnv::new();
         compiled.execute(&mut env, &reg).unwrap();
         assert!(env.lists.contains_key("L"));

@@ -12,7 +12,7 @@
 //! cargo run --example custom_format
 //! ```
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sparse_synth::formats::descriptors::ScanInfo;
 use sparse_synth::formats::{descriptors, CooMatrix, FormatDescriptor};
@@ -93,7 +93,7 @@ fn main() {
     // first, then row.
     conv.register_comparator(
         "WAVEFRONT",
-        Rc::new(|a: &[i64], b: &[i64]| {
+        Arc::new(|a: &[i64], b: &[i64]| {
             let (ai, aj) = (a[0], a[1]);
             let (bi, bj) = (b[0], b[1]);
             (ai + aj, ai).cmp(&(bi + bj, bi))

@@ -48,6 +48,7 @@
 #![warn(rust_2018_idioms)]
 
 pub use sparse_baselines as baselines;
+pub use sparse_engine as engine;
 pub use sparse_formats as formats;
 pub use sparse_matgen as matgen;
 pub use sparse_synthesis as synthesis;

@@ -243,7 +243,7 @@ fn synthesized_reorder_feeds_hicoo_construction() {
 fn descriptor_quantifiers_round_trip_through_the_parser() {
     // Every quantifier a descriptor prints parses back to its semantic
     // form (spec fidelity: the Table-1 notation is not just display).
-    use sparse_synth::ir::{parse_quantifier, Monotonicity, ParsedQuantifier};
+    use sparse_synth::ir::{parse_quantifier, ParsedQuantifier};
     for d in [
         descriptors::scoo(),
         descriptors::csr(),

@@ -1,0 +1,28 @@
+//! Offline stand-in for the subset of the
+//! [`proptest`](https://docs.rs/proptest) API this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! this shim. It keeps proptest's *interface* — [`Strategy`] with
+//! `prop_map`/`prop_flat_map`, [`collection`], [`prop_oneof!`],
+//! [`proptest!`], `prop_assert*` — but implements plain seeded random
+//! generation without shrinking: a failing case reports the case number
+//! and the asserted expressions instead of a minimized input. Generation
+//! is deterministic per test name, so failures reproduce exactly.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+mod macros;
+
+/// The commonly-used subset, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}

@@ -1,0 +1,140 @@
+//! The `proptest!`, `prop_oneof!`, `prop_assert*`, and `prop_assume!`
+//! macros.
+
+/// Weighted or unweighted union of strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a test running `body` over generated inputs.
+///
+/// The optional leading `#![proptest_config(...)]` sets the case count.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_define! { config = { $config }; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_define! {
+            config = { $crate::test_runner::ProptestConfig::default() };
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_define {
+    (config = { $config:expr };
+     $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let mut __rng = $crate::test_runner::TestRng::for_name(stringify!($name));
+                let __strategy = ( $($strategy,)+ );
+                for __case in 0..__config.cases {
+                    let ( $($pat,)+ ) =
+                        $crate::strategy::Strategy::generate(&__strategy, &mut __rng);
+                    let __outcome: ::std::result::Result<(), ::std::string::String> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err(__msg)
+                            if __msg == $crate::test_runner::REJECT => {}
+                        ::std::result::Result::Err(__msg) => panic!(
+                            "proptest `{}` failed at case #{}: {}",
+                            stringify!($name), __case, __msg
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert!({}) failed at {}:{}",
+                stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert! failed at {}:{}: {}",
+                file!(), line!(), format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert_eq!({}, {}) failed at {}:{}",
+                stringify!($left), stringify!($right), file!(), line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert_eq!({}, {}) failed at {}:{}: {}",
+                stringify!($left), stringify!($right), file!(), line!(),
+                format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err(format!(
+                "prop_assert_ne!({}, {}) failed at {}:{}",
+                stringify!($left), stringify!($right), file!(), line!()
+            ));
+        }
+    }};
+}
+
+/// Rejects the current generated case (skips it without failing).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::REJECT.to_string(),
+            );
+        }
+    };
+}
