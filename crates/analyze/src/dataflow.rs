@@ -1,0 +1,162 @@
+//! Pass 1: UF def-before-use dataflow over the statement sequence.
+//!
+//! * **SA001** — a statement reads a name (UF, list, data array, symbol)
+//!   that no earlier statement defines and that is not an *external*: the
+//!   source format's UFs/data/symbols and the destination's dimension and
+//!   nnz symbols are inputs, everything else must be produced by the plan.
+//! * **SA002** — a destination UF is never populated at all, or is
+//!   populated through an allocation whose size does not cover the
+//!   declared domain (so some entries would keep their init value).
+
+use std::collections::BTreeSet;
+
+use sparse_formats::descriptors::domain_alloc_size;
+use spf_computation::{Computation, Kernel};
+
+use crate::diag::{Code, Diagnostic};
+use crate::Ctx;
+
+pub(crate) fn check(comp: &Computation, cx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    check_def_before_use(comp, cx, out);
+    check_coverage(comp, cx, out);
+}
+
+/// Names that are inputs to the plan rather than produced by it.
+fn externals(cx: &Ctx<'_>) -> BTreeSet<String> {
+    let mut ext: BTreeSet<String> = cx.src.uf_names().into_iter().collect();
+    ext.insert(cx.src.data_name.clone());
+    ext.extend(cx.src.dim_syms.iter().cloned());
+    ext.insert(cx.src.nnz_sym.clone());
+    ext.extend(cx.src.extra_syms.iter().cloned());
+    // Destination *dimension* symbols are inputs (the logical shape); its
+    // extra symbols (ND, ELLW, ...) are derived and must be computed.
+    ext.extend(cx.dst.dim_syms.iter().cloned());
+    ext.insert(cx.dst.nnz_sym.clone());
+    ext
+}
+
+fn check_def_before_use(comp: &Computation, cx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    let mut defined = externals(cx);
+    let mut reported: BTreeSet<String> = BTreeSet::new();
+    for stmt in &comp.stmts {
+        let mut reads = stmt.reads();
+        // Min/max statements read-modify-write their own UF; `reads()`
+        // omits the RMW read, so the allocation requirement is added here.
+        if let Kernel::UfMin { uf, .. } | Kernel::UfMax { uf, .. } = &stmt.kernel {
+            reads.insert(uf.clone());
+        }
+        for r in &reads {
+            if !defined.contains(r) && reported.insert(r.clone()) {
+                out.push(
+                    Diagnostic::new(
+                        Code::Sa001,
+                        format!("`{r}` is read before any statement defines it"),
+                    )
+                    .with_stmt(&stmt.label),
+                );
+            }
+        }
+        defined.extend(stmt.writes());
+    }
+}
+
+fn check_coverage(comp: &Computation, cx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    for sig in cx.dst.ufs.iter() {
+        let name = &sig.name;
+        let mut has_writer = false;
+        let mut list_materialized = false;
+        let mut alloc_size = None;
+        for stmt in &comp.stmts {
+            match &stmt.kernel {
+                Kernel::UfWrite { uf, .. }
+                | Kernel::UfMin { uf, .. }
+                | Kernel::UfMax { uf, .. }
+                    if uf == name =>
+                {
+                    has_writer = true;
+                }
+                Kernel::ListToUf { uf, .. } if uf == name => {
+                    has_writer = true;
+                    // Materialization allocates exactly the list length,
+                    // and the domain symbol is set from the same list.
+                    list_materialized = true;
+                }
+                Kernel::UfAlloc { uf, size, .. } if uf == name => {
+                    alloc_size = Some(size.clone());
+                }
+                _ => {}
+            }
+        }
+        if !has_writer {
+            out.push(Diagnostic::new(
+                Code::Sa002,
+                format!("destination UF `{name}` is never populated by the plan"),
+            ));
+            continue;
+        }
+        if list_materialized {
+            continue;
+        }
+        let Some(want) = domain_alloc_size(sig) else {
+            out.push(Diagnostic::new(
+                Code::Sa002,
+                format!("destination UF `{name}` has no derivable allocation size"),
+            ));
+            continue;
+        };
+        match alloc_size {
+            None => out.push(Diagnostic::new(
+                Code::Sa002,
+                format!("destination UF `{name}` is populated but never allocated"),
+            )),
+            Some(size) if size != want => out.push(
+                Diagnostic::new(
+                    Code::Sa002,
+                    format!(
+                        "allocation of `{name}` has size {size} but its domain \
+                         needs {want}; uncovered entries would keep their init value"
+                    ),
+                )
+                .with_relation(format!("domain size {want}, allocated {size}")),
+            ),
+            Some(_) => {}
+        }
+    }
+
+    // The destination data array must be allocated at the declared size
+    // and then written.
+    let data = &cx.dst.data_name;
+    let mut written = false;
+    let mut alloc_factors = None;
+    for stmt in &comp.stmts {
+        match &stmt.kernel {
+            Kernel::Copy { dst, .. } if dst == data => written = true,
+            Kernel::DataAxpy { y, .. } if y == data => written = true,
+            Kernel::DataAlloc { arr, size_factors } if arr == data => {
+                alloc_factors = Some(size_factors.clone());
+            }
+            _ => {}
+        }
+    }
+    if !written {
+        out.push(Diagnostic::new(
+            Code::Sa002,
+            format!("destination data array `{data}` is never written by the plan"),
+        ));
+    } else {
+        match alloc_factors {
+            None => out.push(Diagnostic::new(
+                Code::Sa002,
+                format!("destination data array `{data}` is written but never allocated"),
+            )),
+            Some(factors) if factors != cx.dst.data_size => out.push(Diagnostic::new(
+                Code::Sa002,
+                format!(
+                    "allocation of `{data}` does not match the descriptor's \
+                     declared data size"
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+}

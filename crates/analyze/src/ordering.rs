@@ -1,0 +1,253 @@
+//! Pass 3: ordering and monotonicity checks.
+//!
+//! * **SA006** — a destination UF with a declared monotonic quantifier
+//!   must have that quantifier *established* by the plan: pointer-style
+//!   UFs populated by `UfMin`/`UfMax` need an enforcement sweep after
+//!   population (and conversely, min/max-populated UFs without any
+//!   declared monotonicity are rejected — nothing constrains the result);
+//!   UFs materialized from a value list need the list sorted (and
+//!   deduplicated, for strictly increasing quantifiers).
+//! * **SA007** — a destination order key must be established: either the
+//!   plan builds the permutation `P` with a matching comparator, width,
+//!   and finalize, or the source traversal order already implies the key
+//!   and the data is contiguous (identity-eliminated plans).
+
+use sparse_synthesis::PERM_NAME;
+use spf_computation::{Computation, Kernel, ListOrderSpec};
+use spf_ir::{Comparator, Monotonicity};
+
+use crate::diag::{Code, Diagnostic};
+use crate::Ctx;
+
+pub(crate) fn check(comp: &Computation, cx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    check_monotonicity(comp, cx, out);
+    check_order_key(comp, cx, out);
+}
+
+fn check_monotonicity(comp: &Computation, cx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    for sig in cx.dst.ufs.iter() {
+        let name = &sig.name;
+        // Population by min/max bounds vs. the enforcement sweep (which is
+        // itself a `UfMin` whose value reads the UF it writes).
+        let mut populated_at: Vec<usize> = Vec::new();
+        let mut sweeps_at: Vec<usize> = Vec::new();
+        for (i, stmt) in comp.stmts.iter().enumerate() {
+            if let Kernel::UfMin { uf, value, .. } | Kernel::UfMax { uf, value, .. } =
+                &stmt.kernel
+            {
+                if uf != name {
+                    continue;
+                }
+                if value.mentions_uf(name) {
+                    sweeps_at.push(i);
+                } else {
+                    populated_at.push(i);
+                }
+            }
+        }
+        if !populated_at.is_empty() {
+            match sig.monotonicity {
+                None => out.push(
+                    Diagnostic::new(
+                        Code::Sa006,
+                        format!(
+                            "`{name}` is populated by min/max bounds but its \
+                             descriptor declares no monotonic quantifier; nothing \
+                             constrains rows the scan never visits"
+                        ),
+                    )
+                    .with_relation(Monotonicity::NonDecreasing.quantifier_text(name)),
+                ),
+                Some(m) => {
+                    let last = *populated_at.iter().max().unwrap();
+                    if !sweeps_at.iter().any(|&s| s > last) {
+                        out.push(
+                            Diagnostic::new(
+                                Code::Sa006,
+                                format!(
+                                    "monotonic quantifier on `{name}` is declared but \
+                                     the plan has no enforcement sweep after \
+                                     population; empty rows would keep init values"
+                                ),
+                            )
+                            .with_relation(m.quantifier_text(name)),
+                        );
+                    }
+                }
+            }
+        }
+
+        // Population by list materialization: the list's declared order
+        // must establish the quantifier.
+        for stmt in &comp.stmts {
+            let Kernel::ListToUf { list, uf, .. } = &stmt.kernel else { continue };
+            if uf != name {
+                continue;
+            }
+            let decl = comp.stmts.iter().find_map(|s| match &s.kernel {
+                Kernel::ListDecl { list: l, order, unique, .. } if l == list => {
+                    Some((order.clone(), *unique))
+                }
+                _ => None,
+            });
+            let Some((order, unique)) = decl else {
+                out.push(
+                    Diagnostic::new(
+                        Code::Sa006,
+                        format!("list `{list}` is materialized into `{name}` but never declared"),
+                    )
+                    .with_stmt(&stmt.label),
+                );
+                continue;
+            };
+            let established = match sig.monotonicity {
+                None => true,
+                Some(Monotonicity::NonDecreasing) => {
+                    matches!(order, ListOrderSpec::Lexicographic)
+                }
+                Some(Monotonicity::Increasing) => {
+                    matches!(order, ListOrderSpec::Lexicographic) && unique
+                }
+            };
+            if !established {
+                let m = sig.monotonicity.expect("checked above");
+                out.push(
+                    Diagnostic::new(
+                        Code::Sa006,
+                        format!(
+                            "`{name}` declares a monotonic quantifier but is \
+                             materialized from list `{list}` which is not sorted{}",
+                            if m == Monotonicity::Increasing { " and deduplicated" } else { "" }
+                        ),
+                    )
+                    .with_stmt(&stmt.label)
+                    .with_relation(m.quantifier_text(name)),
+                );
+            }
+        }
+    }
+}
+
+/// The list ordering a comparator demands.
+fn comparator_spec(c: &Comparator) -> ListOrderSpec {
+    match c {
+        Comparator::Lexicographic => ListOrderSpec::Lexicographic,
+        Comparator::Morton => ListOrderSpec::Morton,
+        Comparator::UserFn(name) => ListOrderSpec::Custom(name.clone()),
+    }
+}
+
+fn check_order_key(comp: &Computation, cx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    let Some(key) = &cx.dst.order else { return };
+    let decl = comp.stmts.iter().enumerate().find_map(|(i, s)| match &s.kernel {
+        Kernel::ListDecl { list, width, order, .. } if list == PERM_NAME => {
+            Some((i, *width, order.clone()))
+        }
+        _ => None,
+    });
+    let Some((_, width, order)) = decl else {
+        // No permutation: the source traversal order must already emit
+        // nonzeros in destination order, from contiguous storage.
+        let implied =
+            cx.src.contiguous_data && cx.src.order.as_ref().is_some_and(|o| o.implies(key));
+        if !implied {
+            out.push(
+                Diagnostic::new(
+                    Code::Sa007,
+                    format!(
+                        "destination `{}` orders nonzeros by {key} but the plan \
+                         builds no permutation and the source order does not imply it",
+                        cx.dst.name
+                    ),
+                )
+                .with_relation(key.quantifier_text(&coord_names(cx))),
+            );
+        }
+        return;
+    };
+    let expected = comparator_spec(&key.comparator);
+    if order != expected {
+        out.push(
+            Diagnostic::new(
+                Code::Sa007,
+                format!(
+                    "permutation `{PERM_NAME}` is sorted {} but the destination \
+                     order key requires {}",
+                    spec_name(&order),
+                    spec_name(&expected)
+                ),
+            )
+            .with_relation(key.quantifier_text(&coord_names(cx))),
+        );
+    }
+    if width != key.dims.len() {
+        out.push(Diagnostic::new(
+            Code::Sa007,
+            format!(
+                "permutation `{PERM_NAME}` has width {width} but the order key \
+                 compares {} dimension(s)",
+                key.dims.len()
+            ),
+        ));
+    }
+    let mut last_insert = None;
+    for (i, s) in comp.stmts.iter().enumerate() {
+        if let Kernel::ListInsert { list, args } = &s.kernel {
+            if list == PERM_NAME {
+                last_insert = Some(i);
+                if args.len() != width {
+                    out.push(
+                        Diagnostic::new(
+                            Code::Sa007,
+                            format!(
+                                "insert into `{PERM_NAME}` provides {} key value(s) \
+                                 for width {width}",
+                                args.len()
+                            ),
+                        )
+                        .with_stmt(&s.label),
+                    );
+                }
+            }
+        }
+    }
+    let Some(last_insert) = last_insert else {
+        out.push(Diagnostic::new(
+            Code::Sa007,
+            format!("permutation `{PERM_NAME}` is declared but never populated"),
+        ));
+        return;
+    };
+    let finalized = comp.stmts.iter().enumerate().any(|(i, s)| {
+        i > last_insert
+            && matches!(&s.kernel, Kernel::ListFinalize { list } if list == PERM_NAME)
+    });
+    if !finalized {
+        out.push(Diagnostic::new(
+            Code::Sa007,
+            format!(
+                "permutation `{PERM_NAME}` is never finalized after its last insert; \
+                 the sort that establishes the destination order never runs"
+            ),
+        ));
+    }
+}
+
+/// Coordinate names for rendering the order-key quantifier.
+fn coord_names(cx: &Ctx<'_>) -> Vec<String> {
+    cx.dst
+        .coord_ufs
+        .iter()
+        .enumerate()
+        .map(|(d, uf)| uf.clone().unwrap_or_else(|| format!("x{d}")))
+        .collect()
+}
+
+fn spec_name(s: &ListOrderSpec) -> String {
+    match s {
+        ListOrderSpec::Insertion => "by insertion order".into(),
+        ListOrderSpec::Lexicographic => "lexicographically".into(),
+        ListOrderSpec::Morton => "by Morton order".into(),
+        ListOrderSpec::Custom(f) => format!("by custom comparator `{f}`"),
+    }
+}

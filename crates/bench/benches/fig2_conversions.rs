@@ -41,8 +41,8 @@ fn bench_kind(c: &mut Criterion, kind: Fig2Kind, group_name: &str) {
         // Synthesized.
         let mut env = RtEnv::new();
         match (&csr, kind) {
-            (Some(m), Fig2Kind::CsrToCsc) => synth_run::bind_csr(&mut env, &conv.synth.src, m),
-            _ => synth_run::bind_coo(&mut env, &conv.synth.src, &coo),
+            (Some(m), Fig2Kind::CsrToCsc) => synth_run::bind_csr(&mut env, &conv.synth.src, m).unwrap(),
+            _ => synth_run::bind_coo(&mut env, &conv.synth.src, &coo).unwrap(),
         }
         group.bench_with_input(
             BenchmarkId::new("synthesized", spec.name),

@@ -21,7 +21,7 @@ fn fig3(c: &mut Criterion) {
         let coo = spec.generate(SCALE);
         for (label, conv) in [("linear", &linear), ("binary", &binary)] {
             let mut env = RtEnv::new();
-            synth_run::bind_coo(&mut env, &conv.synth.src, &coo);
+            synth_run::bind_coo(&mut env, &conv.synth.src, &coo).unwrap();
             group.bench_with_input(
                 BenchmarkId::new(label, spec.name),
                 &(),

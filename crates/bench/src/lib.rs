@@ -174,9 +174,9 @@ pub fn run_fig2(kind: Fig2Kind, scale: usize, reps: usize) -> Vec<Fig2Row> {
         let mut env = RtEnv::new();
         match (&csr, kind) {
             (Some(c), Fig2Kind::CsrToCsc) => {
-                synth_run::bind_csr(&mut env, &conv.synth.src, c)
+                synth_run::bind_csr(&mut env, &conv.synth.src, c).unwrap()
             }
-            _ => synth_run::bind_coo(&mut env, &conv.synth.src, &coo),
+            _ => synth_run::bind_coo(&mut env, &conv.synth.src, &coo).unwrap(),
         }
         let ours = time_min(reps, || {
             conv.execute_env(&mut env).expect("synthesized conversion runs");
@@ -231,7 +231,7 @@ pub fn run_table4(scale: usize, reps: usize) -> Vec<Table4Row> {
             std::hint::black_box(out.nnz());
         });
         let mut env = RtEnv::new();
-        synth_run::bind_coo3(&mut env, &conv.synth.src, &t);
+        synth_run::bind_coo3(&mut env, &conv.synth.src, &t).unwrap();
         let ours = time_min(reps, || {
             conv.execute_env(&mut env).expect("synthesized reorder runs");
         });

@@ -30,6 +30,11 @@ pub enum RunError {
     Format(FormatError),
     /// A name expected in the environment after execution is missing.
     MissingOutput(String),
+    /// The descriptor is malformed for its structural kind (missing
+    /// coordinate UF, pointer UF, or extra symbol). Binding and
+    /// extraction report this instead of panicking so callers can feed
+    /// untrusted descriptors through the dispatch layer.
+    Descriptor(String),
     /// The descriptor/container pairing has no dispatch path: the
     /// descriptor's [`FormatKind`] is unsupported, the input container
     /// does not match the source descriptor, or the destination kind has
@@ -44,6 +49,7 @@ impl fmt::Display for RunError {
             RunError::Exec(e) => write!(f, "execution: {e}"),
             RunError::Format(e) => write!(f, "invalid output: {e}"),
             RunError::MissingOutput(n) => write!(f, "missing output `{n}`"),
+            RunError::Descriptor(what) => write!(f, "malformed descriptor: {what}"),
             RunError::Unsupported(what) => write!(f, "unsupported dispatch: {what}"),
         }
     }
@@ -131,8 +137,12 @@ impl Conversion {
     }
 
     /// Binds a COO matrix as the conversion source.
-    pub fn bind_coo_source(&self, env: &mut RtEnv, m: &CooMatrix) {
-        bind_coo(env, &self.synth.src, m);
+    ///
+    /// # Errors
+    /// Returns [`RunError::Descriptor`] if the source descriptor lacks
+    /// the coordinate UFs a COO binding needs.
+    pub fn bind_coo_source(&self, env: &mut RtEnv, m: &CooMatrix) -> Result<(), RunError> {
+        bind_coo(env, &self.synth.src, m)
     }
 
     /// Converts any rank-2 matrix: binds `m` under the *source*
@@ -345,18 +355,18 @@ pub fn bind_matrix(
     let kind = desc.kind();
     match (kind, m) {
         (FormatKind::Coo | FormatKind::SortedCoo | FormatKind::MortonCoo, MatrixRef::Coo(c)) => {
-            bind_coo(env, desc, c);
+            bind_coo(env, desc, c)?;
         }
         (
             FormatKind::Coo | FormatKind::SortedCoo | FormatKind::MortonCoo,
             MatrixRef::MortonCoo(mc),
         ) => {
-            bind_coo(env, desc, &mc.coo);
+            bind_coo(env, desc, &mc.coo)?;
         }
-        (FormatKind::Csr, MatrixRef::Csr(c)) => bind_csr(env, desc, c),
-        (FormatKind::Csc, MatrixRef::Csc(c)) => bind_csc(env, desc, c),
-        (FormatKind::Dia, MatrixRef::Dia(d)) => bind_dia(env, desc, d),
-        (FormatKind::Ell, MatrixRef::Ell(e)) => bind_ell(env, desc, e),
+        (FormatKind::Csr, MatrixRef::Csr(c)) => bind_csr(env, desc, c)?,
+        (FormatKind::Csc, MatrixRef::Csc(c)) => bind_csc(env, desc, c)?,
+        (FormatKind::Dia, MatrixRef::Dia(d)) => bind_dia(env, desc, d)?,
+        (FormatKind::Ell, MatrixRef::Ell(e)) => bind_ell(env, desc, e)?,
         (kind, m) => {
             return Err(RunError::Unsupported(format!(
                 "cannot bind `{}` input under source descriptor `{}` (kind {kind:?})",
@@ -381,10 +391,10 @@ pub fn bind_tensor(
     let kind = desc.kind();
     match (kind, t) {
         (FormatKind::Coo3 | FormatKind::MortonCoo3, TensorRef::Coo3(c)) => {
-            bind_coo3(env, desc, c);
+            bind_coo3(env, desc, c)?;
         }
         (FormatKind::Coo3 | FormatKind::MortonCoo3, TensorRef::MortonCoo3(mc)) => {
-            bind_coo3(env, desc, &mc.coo);
+            bind_coo3(env, desc, &mc.coo)?;
         }
         (kind, t) => {
             return Err(RunError::Unsupported(format!(
@@ -460,85 +470,159 @@ fn dims_to_env(env: &mut RtEnv, desc: &FormatDescriptor, dims: &[usize], nnz: us
     env.syms.insert(desc.nnz_sym.clone(), nnz as i64);
 }
 
-/// Binds a COO matrix under the descriptor's names (coordinate UFs from
-/// `coord_ufs`, data under `data_name`).
-pub fn bind_coo(env: &mut RtEnv, desc: &FormatDescriptor, m: &CooMatrix) {
-    dims_to_env(env, desc, &[m.nr, m.nc], m.nnz());
-    let row = desc.coord_ufs[0].clone().expect("COO row UF");
-    let col = desc.coord_ufs[1].clone().expect("COO col UF");
-    env.ufs.insert(row, m.row.clone());
-    env.ufs.insert(col, m.col.clone());
-    env.data.insert(desc.data_name.clone(), m.val.clone());
+/// The coordinate UF a binding/extraction needs, or a typed error when
+/// the descriptor has no UF at that dimension (too few entries, or an
+/// uncompressed `None` slot).
+fn coord_uf(desc: &FormatDescriptor, d: usize, role: &str) -> Result<String, RunError> {
+    desc.coord_ufs.get(d).and_then(Clone::clone).ok_or_else(|| {
+        RunError::Descriptor(format!(
+            "descriptor `{}` has no {role} (coord_ufs[{d}] is absent)",
+            desc.name
+        ))
+    })
 }
 
-/// Binds an order-3 COO tensor.
-pub fn bind_coo3(env: &mut RtEnv, desc: &FormatDescriptor, t: &Coo3Tensor) {
-    dims_to_env(env, desc, &[t.nr, t.nc, t.nz], t.nnz());
-    let u0 = desc.coord_ufs[0].clone().expect("COO3 mode-0 UF");
-    let u1 = desc.coord_ufs[1].clone().expect("COO3 mode-1 UF");
-    let u2 = desc.coord_ufs[2].clone().expect("COO3 mode-2 UF");
-    env.ufs.insert(u0, t.i0.clone());
-    env.ufs.insert(u1, t.i1.clone());
-    env.ufs.insert(u2, t.i2.clone());
-    env.data.insert(desc.data_name.clone(), t.val.clone());
-}
-
-/// Finds the descriptor's pointer UF (the monotonic one).
-fn pointer_uf(desc: &FormatDescriptor) -> String {
+/// The descriptor's pointer UF (the monotonic one), or a typed error for
+/// descriptors without one.
+fn pointer_uf(desc: &FormatDescriptor) -> Result<String, RunError> {
     desc.ufs
         .iter()
         .find(|s| s.monotonicity.is_some())
         .map(|s| s.name.clone())
-        .expect("compressed format has a monotonic pointer UF")
+        .ok_or_else(|| {
+            RunError::Descriptor(format!(
+                "descriptor `{}` declares no monotonic pointer UF",
+                desc.name
+            ))
+        })
+}
+
+/// The descriptor's sole layout UF (ELL column slots, DIA offsets).
+fn sole_uf(desc: &FormatDescriptor, role: &str) -> Result<String, RunError> {
+    desc.ufs.iter().next().map(|s| s.name.clone()).ok_or_else(|| {
+        RunError::Descriptor(format!("descriptor `{}` declares no {role} UF", desc.name))
+    })
+}
+
+/// The descriptor's `i`-th extra symbol (ELL width, DIA diagonal count).
+fn extra_sym(desc: &FormatDescriptor, i: usize, role: &str) -> Result<String, RunError> {
+    desc.extra_syms.get(i).cloned().ok_or_else(|| {
+        RunError::Descriptor(format!(
+            "descriptor `{}` has no {role} symbol (extra_syms[{i}] is absent)",
+            desc.name
+        ))
+    })
+}
+
+/// Binds a COO matrix under the descriptor's names (coordinate UFs from
+/// `coord_ufs`, data under `data_name`).
+///
+/// # Errors
+/// Returns [`RunError::Descriptor`] if the descriptor lacks row/column
+/// coordinate UFs.
+pub fn bind_coo(
+    env: &mut RtEnv,
+    desc: &FormatDescriptor,
+    m: &CooMatrix,
+) -> Result<(), RunError> {
+    dims_to_env(env, desc, &[m.nr, m.nc], m.nnz());
+    let row = coord_uf(desc, 0, "row UF")?;
+    let col = coord_uf(desc, 1, "column UF")?;
+    env.ufs.insert(row, m.row.clone());
+    env.ufs.insert(col, m.col.clone());
+    env.data.insert(desc.data_name.clone(), m.val.clone());
+    Ok(())
+}
+
+/// Binds an order-3 COO tensor.
+///
+/// # Errors
+/// Returns [`RunError::Descriptor`] if any of the three mode UFs is
+/// absent.
+pub fn bind_coo3(
+    env: &mut RtEnv,
+    desc: &FormatDescriptor,
+    t: &Coo3Tensor,
+) -> Result<(), RunError> {
+    dims_to_env(env, desc, &[t.nr, t.nc, t.nz], t.nnz());
+    let u0 = coord_uf(desc, 0, "mode-0 UF")?;
+    let u1 = coord_uf(desc, 1, "mode-1 UF")?;
+    let u2 = coord_uf(desc, 2, "mode-2 UF")?;
+    env.ufs.insert(u0, t.i0.clone());
+    env.ufs.insert(u1, t.i1.clone());
+    env.ufs.insert(u2, t.i2.clone());
+    env.data.insert(desc.data_name.clone(), t.val.clone());
+    Ok(())
 }
 
 /// Binds a CSR matrix under the descriptor's names.
-pub fn bind_csr(env: &mut RtEnv, desc: &FormatDescriptor, m: &CsrMatrix) {
+///
+/// # Errors
+/// Returns [`RunError::Descriptor`] without a pointer or column UF.
+pub fn bind_csr(
+    env: &mut RtEnv,
+    desc: &FormatDescriptor,
+    m: &CsrMatrix,
+) -> Result<(), RunError> {
     dims_to_env(env, desc, &[m.nr, m.nc], m.nnz());
-    env.ufs.insert(pointer_uf(desc), m.rowptr.clone());
-    let col = desc.coord_ufs[1].clone().expect("CSR column UF");
+    env.ufs.insert(pointer_uf(desc)?, m.rowptr.clone());
+    let col = coord_uf(desc, 1, "column UF")?;
     env.ufs.insert(col, m.col.clone());
     env.data.insert(desc.data_name.clone(), m.val.clone());
+    Ok(())
 }
 
 /// Binds an ELL matrix under the descriptor's names (padded slot layout:
 /// `ellcol`, data, and the `ELLW` width symbol; `NNZ` is the *actual*
 /// nonzero count, excluding padding).
-pub fn bind_ell(env: &mut RtEnv, desc: &FormatDescriptor, m: &EllMatrix) {
+///
+/// # Errors
+/// Returns [`RunError::Descriptor`] without a column UF or width symbol.
+pub fn bind_ell(
+    env: &mut RtEnv,
+    desc: &FormatDescriptor,
+    m: &EllMatrix,
+) -> Result<(), RunError> {
     dims_to_env(env, desc, &[m.nr, m.nc], m.to_coo().nnz());
-    env.syms.insert(desc.extra_syms[0].clone(), m.width as i64);
-    let col_name = desc
-        .ufs
-        .iter()
-        .next()
-        .map(|s| s.name.clone())
-        .expect("ELL has a column UF");
-    env.ufs.insert(col_name, m.col.clone());
+    env.syms.insert(extra_sym(desc, 0, "padded width")?, m.width as i64);
+    env.ufs.insert(sole_uf(desc, "column slot")?, m.col.clone());
     env.data.insert(desc.data_name.clone(), m.data.clone());
+    Ok(())
 }
 
 /// Binds a DIA matrix under the descriptor's names (for executor use:
 /// `off`, the data block, and the `ND` symbol).
-pub fn bind_dia(env: &mut RtEnv, desc: &FormatDescriptor, m: &DiaMatrix) {
+///
+/// # Errors
+/// Returns [`RunError::Descriptor`] without an offset UF or diagonal
+/// count symbol.
+pub fn bind_dia(
+    env: &mut RtEnv,
+    desc: &FormatDescriptor,
+    m: &DiaMatrix,
+) -> Result<(), RunError> {
     dims_to_env(env, desc, &[m.nr, m.nc], m.to_coo().nnz());
-    env.syms.insert(desc.extra_syms[0].clone(), m.nd() as i64);
-    let off_name = desc
-        .ufs
-        .iter()
-        .next()
-        .map(|s| s.name.clone())
-        .expect("DIA has an offset UF");
-    env.ufs.insert(off_name, m.off.clone());
+    env.syms.insert(extra_sym(desc, 0, "diagonal count")?, m.nd() as i64);
+    env.ufs.insert(sole_uf(desc, "offset")?, m.off.clone());
     env.data.insert(desc.data_name.clone(), m.data.clone());
+    Ok(())
 }
 
 /// Binds a CSC matrix under the descriptor's names.
-pub fn bind_csc(env: &mut RtEnv, desc: &FormatDescriptor, m: &CscMatrix) {
+///
+/// # Errors
+/// Returns [`RunError::Descriptor`] without a pointer or row UF.
+pub fn bind_csc(
+    env: &mut RtEnv,
+    desc: &FormatDescriptor,
+    m: &CscMatrix,
+) -> Result<(), RunError> {
     dims_to_env(env, desc, &[m.nr, m.nc], m.nnz());
-    env.ufs.insert(pointer_uf(desc), m.colptr.clone());
-    let row = desc.coord_ufs[0].clone().expect("CSC row UF");
+    env.ufs.insert(pointer_uf(desc)?, m.colptr.clone());
+    let row = coord_uf(desc, 0, "row UF")?;
     env.ufs.insert(row, m.row.clone());
     env.data.insert(desc.data_name.clone(), m.val.clone());
+    Ok(())
 }
 
 fn take_uf(env: &RtEnv, name: &str) -> Result<Vec<i64>, RunError> {
@@ -565,8 +649,8 @@ pub fn extract_csr(
     nr: usize,
     nc: usize,
 ) -> Result<CsrMatrix, RunError> {
-    let rowptr = take_uf(env, &pointer_uf(desc))?;
-    let col = take_uf(env, desc.coord_ufs[1].as_ref().expect("CSR column UF"))?;
+    let rowptr = take_uf(env, &pointer_uf(desc)?)?;
+    let col = take_uf(env, &coord_uf(desc, 1, "column UF")?)?;
     let val = take_data(env, &desc.data_name)?;
     Ok(CsrMatrix::new(nr, nc, rowptr, col, val)?)
 }
@@ -581,8 +665,8 @@ pub fn extract_csc(
     nr: usize,
     nc: usize,
 ) -> Result<CscMatrix, RunError> {
-    let colptr = take_uf(env, &pointer_uf(desc))?;
-    let row = take_uf(env, desc.coord_ufs[0].as_ref().expect("CSC row UF"))?;
+    let colptr = take_uf(env, &pointer_uf(desc)?)?;
+    let row = take_uf(env, &coord_uf(desc, 0, "row UF")?)?;
     let val = take_data(env, &desc.data_name)?;
     Ok(CscMatrix::new(nr, nc, colptr, row, val)?)
 }
@@ -597,8 +681,8 @@ pub fn extract_coo(
     nr: usize,
     nc: usize,
 ) -> Result<CooMatrix, RunError> {
-    let row = take_uf(env, desc.coord_ufs[0].as_ref().expect("COO row UF"))?;
-    let col = take_uf(env, desc.coord_ufs[1].as_ref().expect("COO col UF"))?;
+    let row = take_uf(env, &coord_uf(desc, 0, "row UF")?)?;
+    let col = take_uf(env, &coord_uf(desc, 1, "column UF")?)?;
     let val = take_data(env, &desc.data_name)?;
     Ok(CooMatrix::from_triplets(nr, nc, row, col, val)?)
 }
@@ -612,9 +696,9 @@ pub fn extract_coo3(
     desc: &FormatDescriptor,
     dims: (usize, usize, usize),
 ) -> Result<Coo3Tensor, RunError> {
-    let i0 = take_uf(env, desc.coord_ufs[0].as_ref().expect("mode-0 UF"))?;
-    let i1 = take_uf(env, desc.coord_ufs[1].as_ref().expect("mode-1 UF"))?;
-    let i2 = take_uf(env, desc.coord_ufs[2].as_ref().expect("mode-2 UF"))?;
+    let i0 = take_uf(env, &coord_uf(desc, 0, "mode-0 UF")?)?;
+    let i1 = take_uf(env, &coord_uf(desc, 1, "mode-1 UF")?)?;
+    let i2 = take_uf(env, &coord_uf(desc, 2, "mode-2 UF")?)?;
     let val = take_data(env, &desc.data_name)?;
     Ok(Coo3Tensor::from_coords(dims, i0, i1, i2, val)?)
 }
@@ -629,13 +713,7 @@ pub fn extract_dia(
     nr: usize,
     nc: usize,
 ) -> Result<DiaMatrix, RunError> {
-    let off_name = desc
-        .ufs
-        .iter()
-        .next()
-        .map(|s| s.name.clone())
-        .ok_or_else(|| RunError::MissingOutput("off".into()))?;
-    let off = take_uf(env, &off_name)?;
+    let off = take_uf(env, &sole_uf(desc, "offset")?)?;
     let data = take_data(env, &desc.data_name)?;
     Ok(DiaMatrix::new(nr, nc, off, data)?)
 }

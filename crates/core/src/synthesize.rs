@@ -33,7 +33,7 @@ use spf_ir::constraint::Constraint;
 use spf_ir::expr::{LinExpr, UfCall, VarId};
 use spf_ir::formula::{Relation, Set};
 use spf_ir::order::Comparator;
-use spf_ir::uf::Monotonicity;
+use spf_ir::uf::{Monotonicity, UfEnvironment, UfSignature};
 
 use crate::analysis::{analyze_destination, AnalysisError, DstAnalysis, DstVarKind};
 
@@ -161,6 +161,11 @@ pub struct SynthesizedConversion {
     /// `true` when optimization proved the permutation is the identity
     /// (source order implies destination order) and removed it.
     pub identity_eliminated: bool,
+    /// Signatures of UFs *introduced by synthesis* (the permutation `P`):
+    /// facts the static verifier may assume. `P`'s range is `[0, NNZ)` —
+    /// a rank returned by a finalized list of one entry per scanned
+    /// nonzero.
+    pub synth_ufs: UfEnvironment,
     /// Human-readable solve order, e.g.
     /// `["P", "col2", "rowptr", "copy"]`.
     pub plan: Vec<String>,
@@ -404,7 +409,10 @@ pub fn synthesize(
         ));
         // The UF's domain size must be a plain symbol we can now set
         // (DIA: ND = |off|).
-        let sig = dst.ufs.get(&m.uf).expect("checked above");
+        let sig = dst
+            .ufs
+            .get(&m.uf)
+            .ok_or_else(|| SynthesisError::MissingDomainInfo(m.uf.clone()))?;
         let size = domain_alloc_size(sig)
             .ok_or_else(|| SynthesisError::MissingDomainInfo(m.uf.clone()))?;
         let sym = size
@@ -440,8 +448,11 @@ pub fn synthesize(
             .memberships
             .iter()
             .find(|m| m.var == fv)
-            .expect("find var has a membership rule");
-        let sig = dst.ufs.get(uf).expect("checked above");
+            .ok_or_else(|| SynthesisError::MissingDomainInfo(uf.clone()))?;
+        let sig = dst
+            .ufs
+            .get(uf)
+            .ok_or_else(|| SynthesisError::MissingDomainInfo(uf.clone()))?;
         let size = domain_alloc_size(sig)
             .ok_or_else(|| SynthesisError::MissingDomainInfo(uf.clone()))?;
         let binary = options.binary_search
@@ -517,14 +528,18 @@ pub fn synthesize(
 
     // --- Monotonic quantifier enforcement sweeps ------------------------
     for uf in &ptr_ufs {
-        let sig = dst.ufs.get(uf).expect("checked above");
+        let sig = dst
+            .ufs
+            .get(uf)
+            .ok_or_else(|| SynthesisError::MissingDomainInfo(uf.clone()))?;
         if sig.monotonicity.is_none() {
             continue;
         }
         // Backward sweep uf[size-2-e] = min(uf[size-2-e], uf[size-1-e])
         // over e in [0, size-1): repairs entries never min-updated
         // (empty rows) while preserving populated ones.
-        let size = domain_alloc_size(sig).expect("checked above");
+        let size = domain_alloc_size(sig)
+            .ok_or_else(|| SynthesisError::MissingDomainInfo(uf.clone()))?;
         let mut sweep_space = Set::universe(vec!["e".into()]);
         {
             let conj = &mut sweep_space.conjunctions_mut()[0];
@@ -575,6 +590,33 @@ pub fn synthesize(
         spf_optimize(&mut comp);
     }
 
+    // Facts about synthesis-introduced UFs, for the static verifier: the
+    // permutation `P` is a rank into a finalized list with one insert per
+    // scanned nonzero, so its values lie in `[0, NNZ)`. (Padded sources
+    // like ELL filter their padding in the scan set, and `NNZ` is bound to
+    // the actual nonzero count, so the cardinality equality holds for
+    // every scannable source.)
+    let mut synth_ufs = UfEnvironment::new();
+    if let PermutationKind::Ordered { width, .. } = &permutation {
+        let domain = Set::universe((0..*width).map(|k| format!("k{k}")).collect());
+        let mut range = Set::universe(vec!["r".into()]);
+        {
+            let conj = &mut range.conjunctions_mut()[0];
+            conj.add(Constraint::ge(LinExpr::var(VarId(0)), LinExpr::zero()));
+            conj.add(Constraint::lt(
+                LinExpr::var(VarId(0)),
+                LinExpr::sym(src.nnz_sym.clone()),
+            ));
+        }
+        synth_ufs.insert(UfSignature {
+            name: PERM_NAME.into(),
+            arity: *width,
+            domain,
+            range,
+            monotonicity: None,
+        });
+    }
+
     Ok(SynthesizedConversion {
         src: src.clone(),
         dst: dst.clone(),
@@ -584,6 +626,7 @@ pub fn synthesize(
         naive,
         permutation,
         identity_eliminated,
+        synth_ufs,
         plan,
     })
 }

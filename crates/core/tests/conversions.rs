@@ -229,7 +229,7 @@ fn mcoo_to_csr_round_trips() {
     let coo = random_coo(24, 24, 100, 3, true);
     let m = MortonCooMatrix::from_coo(&coo);
     let mut env = spf_codegen::runtime::RtEnv::new();
-    sparse_synthesis::run::bind_coo(&mut env, &conv.synth.src, &m.coo);
+    sparse_synthesis::run::bind_coo(&mut env, &conv.synth.src, &m.coo).unwrap();
     conv.execute_env(&mut env).unwrap();
     let got =
         sparse_synthesis::run::extract_csr(&env, &conv.synth.dst, coo.nr, coo.nc).unwrap();
@@ -512,7 +512,7 @@ fn missing_custom_comparator_surfaces_as_error() {
         Conversion::new(&descriptors::scoo(), &dst, SynthesisOptions::default()).unwrap();
     let coo = random_coo(5, 5, 10, 1, true);
     let mut env = spf_codegen::runtime::RtEnv::new();
-    sparse_synthesis::run::bind_coo(&mut env, &conv.synth.src, &coo);
+    sparse_synthesis::run::bind_coo(&mut env, &conv.synth.src, &coo).unwrap();
     let err = conv.execute_env(&mut env).unwrap_err();
     assert!(err.to_string().contains("comparator NOT_REGISTERED"), "{err}");
 }

@@ -66,7 +66,7 @@ impl<T> PlanCache<T> {
 
     /// Number of currently cached plans.
     pub fn len(&self) -> usize {
-        self.map.read().expect("plan cache poisoned").len()
+        self.map.read().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Whether the cache is empty.
@@ -76,7 +76,7 @@ impl<T> PlanCache<T> {
 
     /// Drops every cached plan.
     pub fn clear(&self) {
-        self.map.write().expect("plan cache poisoned").clear();
+        self.map.write().unwrap_or_else(|e| e.into_inner()).clear();
     }
 
     fn touch(&self, slot: &PlanSlot<T>) {
@@ -92,15 +92,18 @@ impl<T> PlanCache<T> {
         key: u64,
         build: impl FnOnce() -> Result<T, String>,
     ) -> Lookup<T> {
-        // Fast path: shared lock only.
+        // Fast path: shared lock only. The lock only ever guards map
+        // operations (never synthesis), so a panic elsewhere cannot leave
+        // the map inconsistent; recover from poisoning instead of
+        // propagating it to every later caller.
         let existing = {
-            let map = self.map.read().expect("plan cache poisoned");
+            let map = self.map.read().unwrap_or_else(|e| e.into_inner());
             map.get(&key).cloned()
         };
         let slot = match existing {
             Some(slot) => slot,
             None => {
-                let mut map = self.map.write().expect("plan cache poisoned");
+                let mut map = self.map.write().unwrap_or_else(|e| e.into_inner());
                 // Recheck under the exclusive lock: another thread may
                 // have inserted while we upgraded.
                 if let Some(slot) = map.get(&key) {
@@ -136,7 +139,7 @@ impl<T> PlanCache<T> {
                 // Drop the failed slot so a later request can retry
                 // (whoever gets there first removes it; identity-checked
                 // so we never evict a fresh replacement slot).
-                let mut map = self.map.write().expect("plan cache poisoned");
+                let mut map = self.map.write().unwrap_or_else(|e| e.into_inner());
                 if map.get(&key).is_some_and(|s| Arc::ptr_eq(s, &slot)) {
                     map.remove(&key);
                 }

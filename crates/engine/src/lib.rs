@@ -20,9 +20,14 @@
 //!   inputs over scoped worker threads that share one cached plan
 //!   (`Arc<Conversion>`); each execution builds its own interpreter
 //!   environment, and outputs come back in input order.
+//! * **Plan verification** — with [`EngineConfig::verify_plans`], every
+//!   freshly synthesized plan runs through the `sparse-analyze` static
+//!   verifier at synthesis time: plans with error-severity findings are
+//!   refused (and never cached), and batch fan-out is gated on the
+//!   verifier's dependence verdict.
 //! * **Observability** — [`Engine::stats`] snapshots hit/miss/eviction
-//!   counters, conversion and nnz totals, and cumulative synthesis vs
-//!   execution time.
+//!   counters, conversion and nnz totals, verification outcomes, and
+//!   cumulative synthesis vs execution time.
 //!
 //! ```
 //! use sparse_engine::Engine;
@@ -46,9 +51,11 @@ pub mod cache;
 mod stats;
 
 use std::fmt;
+use std::ops::Deref;
 use std::sync::Arc;
 use std::time::Instant;
 
+use sparse_analyze::AnalysisReport;
 use sparse_formats::descriptors::StructuralHasher;
 use sparse_formats::{AnyMatrix, AnyTensor, FormatDescriptor};
 use sparse_synthesis::{Conversion, RunError, SynthesisOptions};
@@ -56,6 +63,27 @@ use sparse_synthesis::{Conversion, RunError, SynthesisOptions};
 use cache::{Lookup, PlanCache};
 use stats::StatsInner;
 pub use stats::EngineStats;
+
+/// A cached plan: the compiled conversion plus (when the engine runs with
+/// [`EngineConfig::verify_plans`]) the static verification report that
+/// admitted it into the cache. Derefs to [`Conversion`], so existing
+/// callers of [`Engine::plan`] keep working unchanged.
+pub struct Plan {
+    /// The compiled conversion.
+    pub conversion: Conversion,
+    /// The verifier's report; `None` when verification is off. Plans with
+    /// error-severity findings are rejected before caching, so a present
+    /// report is always clean.
+    pub verification: Option<AnalysisReport>,
+}
+
+impl Deref for Plan {
+    type Target = Conversion;
+
+    fn deref(&self) -> &Conversion {
+        &self.conversion
+    }
+}
 
 /// Errors raised by the engine.
 #[derive(Debug)]
@@ -98,6 +126,12 @@ pub struct EngineConfig {
     /// into the cache key, so engines with different options never share
     /// a fingerprint).
     pub options: SynthesisOptions,
+    /// Run the static verifier on every freshly synthesized plan. Plans
+    /// with error-severity findings are refused (and never cached), and
+    /// [`Engine::convert_batch`] only fans work across threads when the
+    /// verifier proved a parallel loop; unverified engines keep the
+    /// historical trust-the-synthesizer behavior.
+    pub verify_plans: bool,
 }
 
 impl Default for EngineConfig {
@@ -106,6 +140,7 @@ impl Default for EngineConfig {
             capacity: 64,
             threads: 0,
             options: SynthesisOptions::default(),
+            verify_plans: false,
         }
     }
 }
@@ -126,7 +161,7 @@ impl EngineConfig {
 /// workers use); every method takes `&self`.
 pub struct Engine {
     config: EngineConfig,
-    cache: PlanCache<Conversion>,
+    cache: PlanCache<Plan>,
     stats: StatsInner,
 }
 
@@ -182,18 +217,28 @@ impl Engine {
 
     /// Returns the compiled plan for `src → dst` under this engine's
     /// options, synthesizing at most once per cached lifetime of the
-    /// pair.
+    /// pair. Under [`EngineConfig::verify_plans`], freshly synthesized
+    /// plans additionally run through the static verifier, and plans with
+    /// error-severity findings are refused *at synthesis time*.
     ///
     /// # Errors
-    /// Propagates synthesis/lowering failures (which are *not* cached:
-    /// a later call retries).
+    /// Propagates synthesis/lowering failures and verification rejections
+    /// (neither is cached: a later call retries).
     pub fn plan(
         &self,
         src: &FormatDescriptor,
         dst: &FormatDescriptor,
-    ) -> Result<Arc<Conversion>, EngineError> {
+    ) -> Result<Arc<Plan>, EngineError> {
         let options = self.config.options;
-        let key = Engine::plan_fingerprint(src, dst, options);
+        let verify = self.config.verify_plans;
+        // The verification flag changes what a cached entry *is* (plans
+        // carry their report), so it is part of the key.
+        let key = {
+            let mut h = StructuralHasher::new();
+            h.write_u64(Engine::plan_fingerprint(src, dst, options));
+            h.write_u64(verify as u64);
+            h.finish()
+        };
         StatsInner::add(&self.stats.plan_lookups, 1);
         let lookup = self.cache.get_or_insert_with(key, || {
             let t0 = Instant::now();
@@ -203,7 +248,27 @@ impl Engine {
                 Ok(_) => StatsInner::add(&self.stats.plans_synthesized, 1),
                 Err(_) => StatsInner::add(&self.stats.plan_failures, 1),
             }
-            built
+            built.and_then(|conversion| {
+                if !verify {
+                    return Ok(Plan { conversion, verification: None });
+                }
+                let t1 = Instant::now();
+                let report = sparse_analyze::verify(&conversion.synth);
+                StatsInner::add(&self.stats.verify_nanos, t1.elapsed().as_nanos() as u64);
+                StatsInner::add(&self.stats.plans_verified, 1);
+                if !report.is_clean() {
+                    StatsInner::add(&self.stats.plans_rejected, 1);
+                    return Err(format!(
+                        "plan verification failed for {}:\n{}",
+                        report.pair,
+                        report.render_errors()
+                    ));
+                }
+                if report.has_parallel_loop() {
+                    StatsInner::add(&self.stats.parallel_plans, 1);
+                }
+                Ok(Plan { conversion, verification: Some(report) })
+            })
         });
         match lookup {
             Lookup::Hit(plan) | Lookup::Miss(plan) => Ok(plan),
@@ -257,6 +322,13 @@ impl Engine {
     /// multiple failures the lowest-index error wins, so results are
     /// deterministic either way.
     ///
+    /// Under [`EngineConfig::verify_plans`], fan-out is gated on the
+    /// verifier's dependence verdict: only plans with a statically proved
+    /// parallel loop run across multiple workers, everything else falls
+    /// back to one worker. (Batch elements are independent either way;
+    /// the verdict is the engine's evidence that the plan's inspector
+    /// behaves deterministically enough to be worth scheduling freely.)
+    ///
     /// # Errors
     /// Fails on planning failure or the first (by index) per-element
     /// failure.
@@ -270,7 +342,12 @@ impl Engine {
         if inputs.is_empty() {
             return Ok(Vec::new());
         }
-        let workers = self.config.effective_threads().clamp(1, inputs.len());
+        let proved_parallel = match &plan.verification {
+            Some(report) => report.has_parallel_loop(),
+            None => !self.config.verify_plans,
+        };
+        let max_workers = if proved_parallel { self.config.effective_threads() } else { 1 };
+        let workers = max_workers.clamp(1, inputs.len());
         if workers == 1 {
             return inputs.iter().map(|m| self.execute_one(&plan, m)).collect();
         }

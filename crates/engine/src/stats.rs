@@ -10,9 +10,13 @@ pub(crate) struct StatsInner {
     pub plan_lookups: AtomicU64,
     pub plans_synthesized: AtomicU64,
     pub plan_failures: AtomicU64,
+    pub plans_verified: AtomicU64,
+    pub plans_rejected: AtomicU64,
+    pub parallel_plans: AtomicU64,
     pub conversions: AtomicU64,
     pub nnz_moved: AtomicU64,
     pub synth_nanos: AtomicU64,
+    pub verify_nanos: AtomicU64,
     pub exec_nanos: AtomicU64,
 }
 
@@ -32,9 +36,13 @@ impl StatsInner {
             cache_misses: misses,
             cache_evictions: evictions,
             cached_plans,
+            plans_verified: self.plans_verified.load(Ordering::Relaxed),
+            plans_rejected: self.plans_rejected.load(Ordering::Relaxed),
+            parallel_plans: self.parallel_plans.load(Ordering::Relaxed),
             conversions: self.conversions.load(Ordering::Relaxed),
             nnz_moved: self.nnz_moved.load(Ordering::Relaxed),
             synth_time: Duration::from_nanos(self.synth_nanos.load(Ordering::Relaxed)),
+            verify_time: Duration::from_nanos(self.verify_nanos.load(Ordering::Relaxed)),
             exec_time: Duration::from_nanos(self.exec_nanos.load(Ordering::Relaxed)),
         }
     }
@@ -59,6 +67,15 @@ pub struct EngineStats {
     pub cache_evictions: u64,
     /// Plans currently resident in the cache.
     pub cached_plans: usize,
+    /// Plans run through the static verifier (only under
+    /// `EngineConfig::verify_plans`).
+    pub plans_verified: u64,
+    /// Plans the verifier rejected with error-severity diagnostics;
+    /// rejected plans are never cached.
+    pub plans_rejected: u64,
+    /// Verified plans with at least one loop nest statically proved free
+    /// of loop-carried dependences.
+    pub parallel_plans: u64,
     /// Conversions executed (each batch element counts once).
     pub conversions: u64,
     /// Total stored entries moved across all conversions (input nnz,
@@ -66,6 +83,8 @@ pub struct EngineStats {
     pub nnz_moved: u64,
     /// Cumulative wall time spent in synthesis + lowering.
     pub synth_time: Duration,
+    /// Cumulative wall time spent in static plan verification.
+    pub verify_time: Duration,
     /// Cumulative wall time spent executing inspectors (summed across
     /// batch workers, so it can exceed wall-clock under parallelism).
     pub exec_time: Duration,

@@ -205,3 +205,79 @@ fn planning_failures_are_not_cached() {
     assert!(engine.plan(&descriptors::dia(), &descriptors::csr()).is_err());
     assert_eq!(engine.stats().cache_misses, 2);
 }
+
+#[test]
+fn verifying_engine_rejects_broken_descriptor_and_does_not_cache() {
+    // CSR with rowptr's monotonic quantifier dropped: synthesis still
+    // succeeds (it simply emits no enforcement sweep), but the static
+    // verifier refuses the plan at synthesis time.
+    let mut broken = descriptors::csr();
+    let mut rowptr = broken.ufs.get("rowptr").unwrap().clone();
+    rowptr.monotonicity = None;
+    broken.ufs.insert(rowptr);
+
+    let engine =
+        Engine::with_config(EngineConfig { verify_plans: true, ..Default::default() });
+    match engine.plan(&descriptors::scoo(), &broken) {
+        Err(EngineError::Plan(msg)) => {
+            assert!(msg.contains("SA006"), "rejection must cite the diagnostic: {msg}");
+        }
+        Err(other) => panic!("expected a plan rejection, got: {other}"),
+        Ok(_) => panic!("expected a plan rejection, got a plan"),
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.plans_verified, 1);
+    assert_eq!(stats.plans_rejected, 1);
+    assert_eq!(stats.cached_plans, 0, "rejected plans must not occupy the cache");
+
+    // The same pair is accepted by a trusting (unverified) engine.
+    let trusting = Engine::new();
+    assert!(trusting.plan(&descriptors::scoo(), &broken).is_ok());
+}
+
+#[test]
+fn verified_batch_fans_out_on_proved_parallel_plan() {
+    // csr -> coo is the catalog pair whose populate nest the verifier
+    // proves parallel (identity permutation + rowptr window chaining).
+    let engine =
+        Engine::with_config(EngineConfig { verify_plans: true, ..Default::default() });
+    let coo = sample_scoo(12, 15, 3);
+    let csr = CsrMatrix::from_coo(&coo);
+    let inputs: Vec<AnyMatrix> = (0..4).map(|_| AnyMatrix::Csr(csr.clone())).collect();
+    let outs = engine
+        .convert_batch(&descriptors::csr(), &descriptors::coo(), &inputs)
+        .unwrap();
+    assert_eq!(outs.len(), 4);
+    for out in outs {
+        assert_eq!(out, AnyMatrix::Coo(coo.clone()));
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.plans_verified, 1);
+    assert_eq!(stats.plans_rejected, 0);
+    assert_eq!(stats.parallel_plans, 1, "csr -> coo must be proved parallel");
+    let plan = engine.plan(&descriptors::csr(), &descriptors::coo()).unwrap();
+    let report = plan.verification.as_ref().expect("verified engines attach reports");
+    assert!(report.has_parallel_loop());
+    assert!(report.is_clean());
+}
+
+#[test]
+fn verified_batch_stays_correct_without_a_parallelism_proof() {
+    // scoo -> csr interleaves min and max bounds on rowptr, which the
+    // verifier conservatively keeps sequential; the batch must fall back
+    // to one worker and still produce correct outputs.
+    let engine =
+        Engine::with_config(EngineConfig { verify_plans: true, ..Default::default() });
+    let coo = sample_scoo(9, 11, 2);
+    let inputs: Vec<AnyMatrix> = (0..3).map(|_| AnyMatrix::Coo(coo.clone())).collect();
+    let outs = engine
+        .convert_batch(&descriptors::scoo(), &descriptors::csr(), &inputs)
+        .unwrap();
+    for out in outs {
+        assert_eq!(out, AnyMatrix::Csr(CsrMatrix::from_coo(&coo)));
+    }
+    let plan = engine.plan(&descriptors::scoo(), &descriptors::csr()).unwrap();
+    let report = plan.verification.as_ref().unwrap();
+    assert!(report.is_clean());
+    assert!(!report.has_parallel_loop(), "min/max interleaving is not proved parallel");
+}

@@ -1,0 +1,127 @@
+//! Parser round-trips over the full format catalog: every descriptor's
+//! sparse-to-dense map, data-access relation, and scan set must parse
+//! back from its own printed form to a structurally equal value, with
+//! printing a fixed point of `print . parse . print`. These are the
+//! relations the synthesizer actually composes, so the textual surface
+//! syntax and the in-memory algebra must agree on all of them — not just
+//! on the random expressions the property tests generate.
+
+use proptest::prelude::*;
+use spf_ir::constraint::Constraint;
+use spf_ir::expr::{Atom, LinExpr, VarId};
+use spf_ir::formula::{Conjunction, Relation, Set};
+use spf_ir::parser::{parse_relation, parse_set};
+use sparse_formats::{descriptors, FormatDescriptor};
+
+fn catalog() -> Vec<FormatDescriptor> {
+    vec![
+        descriptors::coo(),
+        descriptors::scoo(),
+        descriptors::csr(),
+        descriptors::csc(),
+        descriptors::dia(),
+        descriptors::mcoo(),
+        descriptors::ell(),
+        descriptors::bcsr(2, 2),
+        descriptors::coo3(),
+        descriptors::scoo3(),
+        descriptors::mcoo3(),
+    ]
+}
+
+fn roundtrip_relation(desc: &str, what: &str, r: &Relation) {
+    let text = r.to_string();
+    let back = parse_relation(&text)
+        .unwrap_or_else(|e| panic!("{desc}.{what}: reparse `{text}`: {e}"));
+    assert_eq!(&back, r, "{desc}.{what}: `{text}` parsed to a different relation");
+    assert_eq!(back.to_string(), text, "{desc}.{what}: printing is not a fixed point");
+}
+
+fn roundtrip_set(desc: &str, what: &str, s: &Set) {
+    let text = s.to_string();
+    let back =
+        parse_set(&text).unwrap_or_else(|e| panic!("{desc}.{what}: reparse `{text}`: {e}"));
+    assert_eq!(&back, s, "{desc}.{what}: `{text}` parsed to a different set");
+    assert_eq!(back.to_string(), text, "{desc}.{what}: printing is not a fixed point");
+}
+
+#[test]
+fn catalog_relations_roundtrip() {
+    for d in catalog() {
+        roundtrip_relation(&d.name, "sparse_to_dense", &d.sparse_to_dense);
+        roundtrip_relation(&d.name, "data_access", &d.data_access);
+        if let Some(scan) = &d.scan {
+            roundtrip_set(&d.name, "scan.set", &scan.set);
+        }
+    }
+}
+
+/// Renamed descriptors (the `with_suffix` path that disambiguates
+/// same-format conversions like `coo -> scoo`) round-trip too: renaming
+/// only touches UF and symbol names, never the syntax.
+#[test]
+fn renamed_catalog_relations_roundtrip() {
+    for d in catalog() {
+        let renamed = d.with_suffix("_rt");
+        roundtrip_relation(&renamed.name, "sparse_to_dense", &renamed.sparse_to_dense);
+        roundtrip_relation(&renamed.name, "data_access", &renamed.data_access);
+    }
+}
+
+/// Strategy for small affine expressions over two tuple variables and a
+/// symbol.
+fn arb_affine() -> impl Strategy<Value = LinExpr> {
+    let atom = prop_oneof![
+        (0u32..2).prop_map(|i| Atom::Var(VarId(i))),
+        Just(Atom::Sym("N".to_string())),
+    ];
+    (-4i64..=4, proptest::collection::vec((-3i64..=3, atom), 0..3)).prop_map(|(c, terms)| {
+        let mut e = LinExpr { constant: c, terms };
+        e.canonicalize();
+        e
+    })
+}
+
+/// Strategy for affine constraints over two tuple variables and a symbol.
+fn arb_constraint() -> impl Strategy<Value = Constraint> {
+    (arb_affine(), arb_affine(), proptest::bool::ANY).prop_map(
+        |(a, b, eq)| {
+            if eq {
+                Constraint::eq(a, b)
+            } else {
+                Constraint::le(a, b)
+            }
+        },
+    )
+}
+
+proptest! {
+    /// Unions of random conjunctions survive print/parse — the union
+    /// syntax path the single-conjunction property tests never hit.
+    #[test]
+    fn union_sets_print_parse_stable(
+        conjs in proptest::collection::vec(
+            proptest::collection::vec(arb_constraint(), 0..4), 1..4),
+    ) {
+        let mut s = Set::from_conjunctions(
+            vec!["i".into(), "j".into()],
+            conjs
+                .into_iter()
+                .map(|cs| {
+                    let mut conj = Conjunction::new(2);
+                    for c in cs {
+                        conj.add(c);
+                    }
+                    conj
+                })
+                .collect(),
+        );
+        s.simplify();
+        prop_assume!(!s.is_empty());
+        let text = s.to_string();
+        let mut back =
+            parse_set(&text).unwrap_or_else(|e| panic!("reparse `{text}`: {e}"));
+        back.simplify();
+        prop_assert_eq!(s.to_string(), back.to_string());
+    }
+}

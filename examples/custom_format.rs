@@ -116,7 +116,7 @@ fn main() {
         m
     };
     let mut env = RtEnv::new();
-    synth_run::bind_coo(&mut env, &conv.synth.src, &coo);
+    synth_run::bind_coo(&mut env, &conv.synth.src, &coo).unwrap();
     conv.execute_env(&mut env).expect("conversion runs");
     let out = synth_run::extract_coo(&env, &conv.synth.dst, coo.nr, coo.nc)
         .expect("valid output");

@@ -13,4 +13,9 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo run --release --example lint_descriptor (static-analysis gate)"
+# Lints every catalog descriptor and statically verifies every
+# synthesizable conversion plan; exits nonzero on any error or warning.
+cargo run --release --example lint_descriptor
+
 echo "All checks passed."
