@@ -103,14 +103,53 @@ fn main() {
     eprintln!("  convert: cold (synth + run)   {cold_convert:>12.2?}");
     eprintln!("  convert: warm (run only)      {warm_convert:>12.2?}   cold/warm = {e2e_ratio:.2}x");
 
-    // 3. Batch throughput at several widths.
+    // 3. Input-validation overhead: the structural checks the hardened
+    //    path (`run_matrix`) adds on top of raw execution
+    //    (`run_matrix_unchecked`). Validation cost is measured directly
+    //    (it is deterministic) rather than by differencing two noisy
+    //    end-to-end timings, and must stay in the noise (<5%) next to
+    //    the interpreter.
+    let plan = engine.plan(&src, &dst).unwrap();
+    let validate_only = median(
+        (0..SAMPLES * 3)
+            .map(|_| {
+                time(|| {
+                    sparse_formats::validate_matrix(&plan.synth.src, (&input).into()).unwrap()
+                })
+            })
+            .collect(),
+    );
+    let unchecked = median(
+        (0..SAMPLES * 3)
+            .map(|_| time(|| plan.run_matrix_unchecked(&input).unwrap()))
+            .collect(),
+    );
+    let overhead = validate_only.as_secs_f64() / unchecked.as_secs_f64();
+    eprintln!("  run: execution (unchecked)    {unchecked:>12.2?}");
+    eprintln!(
+        "  run: input validation         {validate_only:>12.2?}   overhead = {:.2}%",
+        overhead * 100.0
+    );
+    assert!(
+        overhead < 0.05,
+        "input validation must cost <5% of a conversion (got {:.2}%)",
+        overhead * 100.0
+    );
+
+    // 4. Batch throughput at several widths.
     let batch: Vec<AnyMatrix> = (0..16).map(|_| input.clone()).collect();
     for threads in [1usize, 2, 4, 8] {
         let engine = Engine::with_config(EngineConfig { threads, ..Default::default() });
         engine.plan(&src, &dst).unwrap(); // prime so timing is pure execution
         let total = median(
             (0..SAMPLES)
-                .map(|_| time(|| engine.convert_batch(&src, &dst, &batch).unwrap()))
+                .map(|_| {
+                    time(|| {
+                        for item in engine.convert_batch(&src, &dst, &batch).unwrap() {
+                            item.unwrap();
+                        }
+                    })
+                })
                 .collect(),
         );
         let per = total / batch.len() as u32;

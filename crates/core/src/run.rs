@@ -8,7 +8,7 @@ use std::fmt;
 use sparse_formats::{
     AnyMatrix, AnyTensor, Coo3Tensor, CooMatrix, CscMatrix, CsrMatrix, DiaMatrix, EllMatrix,
     FormatDescriptor, FormatError, FormatKind, MatrixRef, MortonCoo3Tensor, MortonCooMatrix,
-    TensorRef,
+    TensorRef, ValidationError,
 };
 use spf_codegen::interp::{ExecError, ExecStats};
 use spf_codegen::runtime::RtEnv;
@@ -40,6 +40,31 @@ pub enum RunError {
     /// does not match the source descriptor, or the destination kind has
     /// no extractor.
     Unsupported(String),
+    /// The input container violates a quantifier obligation of its
+    /// source descriptor (non-monotone pointer, out-of-bounds index,
+    /// unsorted coordinates, …). `check` names the failed runtime check
+    /// (see `sparse_formats::validate::InputCheck::as_str`).
+    InvalidInput {
+        /// Stable kebab-case name of the failed check.
+        check: &'static str,
+        /// Human-readable specifics (offending index, observed value).
+        detail: String,
+    },
+    /// Admission control refused the conversion: the estimated output
+    /// footprint exceeds the configured memory budget.
+    ResourceExhausted {
+        /// What blew up (e.g. `"dia output"`, `"ell output"`).
+        what: String,
+        /// Estimated bytes the conversion would allocate.
+        needed: u64,
+        /// The configured budget in bytes.
+        budget: u64,
+    },
+    /// A batch deadline expired before this item started executing.
+    DeadlineExceeded {
+        /// The configured per-batch deadline.
+        deadline: std::time::Duration,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -51,6 +76,16 @@ impl fmt::Display for RunError {
             RunError::MissingOutput(n) => write!(f, "missing output `{n}`"),
             RunError::Descriptor(what) => write!(f, "malformed descriptor: {what}"),
             RunError::Unsupported(what) => write!(f, "unsupported dispatch: {what}"),
+            RunError::InvalidInput { check, detail } => {
+                write!(f, "invalid input [{check}]: {detail}")
+            }
+            RunError::ResourceExhausted { what, needed, budget } => write!(
+                f,
+                "resource exhausted: {what} needs ~{needed} bytes, budget is {budget}"
+            ),
+            RunError::DeadlineExceeded { deadline } => {
+                write!(f, "deadline exceeded: batch budget {deadline:?} expired before start")
+            }
         }
     }
 }
@@ -72,6 +107,12 @@ impl From<ExecError> for RunError {
 impl From<FormatError> for RunError {
     fn from(e: FormatError) -> Self {
         RunError::Format(e)
+    }
+}
+
+impl From<ValidationError> for RunError {
+    fn from(e: ValidationError) -> Self {
+        RunError::InvalidInput { check: e.check.as_str(), detail: e.detail }
     }
 }
 
@@ -145,17 +186,43 @@ impl Conversion {
         bind_coo(env, &self.synth.src, m)
     }
 
-    /// Converts any rank-2 matrix: binds `m` under the *source*
+    /// Converts any rank-2 matrix: validates `m` against the *source*
+    /// descriptor's quantifier obligations, binds it under the source
     /// descriptor's names, runs the inspector, and extracts the container
     /// the *destination* descriptor's [`FormatKind`] calls for. This is
     /// the one dispatch path every `run_x_to_y` shim (and the engine's
     /// `convert`) goes through.
     ///
+    /// Inputs are untrusted: the static verifier only proves the plan
+    /// correct *assuming* the source obligations hold, so they are
+    /// established here first (see `sparse_formats::validate`). Use
+    /// [`Conversion::run_matrix_unchecked`] to skip the `O(nnz)`
+    /// validation sweep for inputs already known valid.
+    ///
     /// # Errors
-    /// Fails when `m`'s container does not match the source descriptor,
-    /// when either kind has no dispatch rule, and on execution or output
+    /// Returns [`RunError::InvalidInput`] on a violated obligation; fails
+    /// when `m`'s container does not match the source descriptor, when
+    /// either kind has no dispatch rule, and on execution or output
     /// validation failures.
     pub fn run_matrix<'a>(
+        &self,
+        m: impl Into<MatrixRef<'a>>,
+    ) -> Result<(AnyMatrix, ExecStats), RunError> {
+        let m = m.into();
+        sparse_formats::validate_matrix(&self.synth.src, m)?;
+        self.run_matrix_unchecked(m)
+    }
+
+    /// [`Conversion::run_matrix`] without the input-validation sweep: the
+    /// caller asserts `m` satisfies the source descriptor's obligations
+    /// (e.g. it was just produced by a validated conversion). On inputs
+    /// that don't, the inspector may return a typed execution error or
+    /// silently produce garbage — it will not have its preconditions.
+    ///
+    /// # Errors
+    /// Same contract as [`Conversion::run_matrix`], minus
+    /// [`RunError::InvalidInput`].
+    pub fn run_matrix_unchecked<'a>(
         &self,
         m: impl Into<MatrixRef<'a>>,
     ) -> Result<(AnyMatrix, ExecStats), RunError> {
@@ -169,11 +236,26 @@ impl Conversion {
     }
 
     /// Converts any order-3 tensor; the tensor analogue of
-    /// [`Conversion::run_matrix`].
+    /// [`Conversion::run_matrix`] (input validated first).
     ///
     /// # Errors
     /// Same contract as [`Conversion::run_matrix`].
     pub fn run_tensor<'a>(
+        &self,
+        t: impl Into<TensorRef<'a>>,
+    ) -> Result<(AnyTensor, ExecStats), RunError> {
+        let t = t.into();
+        sparse_formats::validate_tensor(&self.synth.src, t)?;
+        self.run_tensor_unchecked(t)
+    }
+
+    /// [`Conversion::run_tensor`] without the input-validation sweep;
+    /// tensor analogue of [`Conversion::run_matrix_unchecked`].
+    ///
+    /// # Errors
+    /// Same contract as [`Conversion::run_tensor`], minus
+    /// [`RunError::InvalidInput`].
+    pub fn run_tensor_unchecked<'a>(
         &self,
         t: impl Into<TensorRef<'a>>,
     ) -> Result<(AnyTensor, ExecStats), RunError> {
@@ -583,7 +665,9 @@ pub fn bind_ell(
     desc: &FormatDescriptor,
     m: &EllMatrix,
 ) -> Result<(), RunError> {
-    dims_to_env(env, desc, &[m.nr, m.nc], m.to_coo().nnz());
+    // stored_nnz (not to_coo) so a corrupt container cannot index
+    // out of bounds before the interpreter's own bounds checks run.
+    dims_to_env(env, desc, &[m.nr, m.nc], m.stored_nnz());
     env.syms.insert(extra_sym(desc, 0, "padded width")?, m.width as i64);
     env.ufs.insert(sole_uf(desc, "column slot")?, m.col.clone());
     env.data.insert(desc.data_name.clone(), m.data.clone());
@@ -601,7 +685,9 @@ pub fn bind_dia(
     desc: &FormatDescriptor,
     m: &DiaMatrix,
 ) -> Result<(), RunError> {
-    dims_to_env(env, desc, &[m.nr, m.nc], m.to_coo().nnz());
+    // stored_nnz (not to_coo) so a corrupt container cannot index
+    // out of bounds before the interpreter's own bounds checks run.
+    dims_to_env(env, desc, &[m.nr, m.nc], m.stored_nnz());
     env.syms.insert(extra_sym(desc, 0, "diagonal count")?, m.nd() as i64);
     env.ufs.insert(sole_uf(desc, "offset")?, m.off.clone());
     env.data.insert(desc.data_name.clone(), m.data.clone());

@@ -129,7 +129,16 @@ impl<T> PlanCache<T> {
             .cell
             .get_or_init(|| {
                 built_here = true;
-                build().map(Arc::new)
+                // Contain builder panics at the slot boundary: a panic
+                // must become a Failed (evicted, retryable) entry, not
+                // abort the requesting thread while other threads block
+                // on this OnceLock.
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(build)) {
+                    Ok(built) => built.map(Arc::new),
+                    Err(payload) => {
+                        Err(format!("plan builder panicked: {}", panic_message(&*payload)))
+                    }
+                }
             })
             .clone();
         match outcome {
@@ -146,6 +155,18 @@ impl<T> PlanCache<T> {
                 Lookup::Failed(msg)
             }
         }
+    }
+}
+
+/// Renders a caught panic payload (the `Box<dyn Any>` from
+/// `catch_unwind`) as best-effort text for a typed error.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -200,6 +221,42 @@ mod tests {
         assert_eq!(msg, "boom");
         assert!(cache.is_empty());
         assert_eq!(get(&cache, 7, 70), (70, false), "retried after failure");
+    }
+
+    #[test]
+    fn panicking_builder_becomes_failed_entry_and_is_retryable() {
+        let cache = PlanCache::new(2);
+        let Lookup::Failed(msg) = cache.get_or_insert_with(9, || panic!("builder exploded"))
+        else {
+            panic!("expected a contained failure");
+        };
+        assert!(msg.contains("builder exploded"), "{msg}");
+        assert!(cache.is_empty(), "panicked builds must not occupy the cache");
+        assert_eq!(get(&cache, 9, 90), (90, false), "retried after the panic");
+    }
+
+    #[test]
+    fn poisoned_map_lock_is_recovered_not_propagated() {
+        let cache = PlanCache::new(4);
+        get(&cache, 1, 10);
+        // Poison the map lock the hard way: a thread dies while holding
+        // the write guard. (No engine code path panics under the lock —
+        // this simulates a future regression.)
+        let poisoner = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = cache.map.write().unwrap();
+                panic!("thread died holding the cache lock");
+            })
+            .join()
+        });
+        assert!(poisoner.is_err(), "the poisoning thread must have panicked");
+        assert!(cache.map.is_poisoned());
+        // Every subsequent operation still works on the intact map state.
+        assert_eq!(get(&cache, 1, 99), (10, true), "cached entry survives poisoning");
+        assert_eq!(get(&cache, 2, 20), (20, false), "fresh inserts survive poisoning");
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
     }
 
     #[test]

@@ -46,21 +46,27 @@
 //! ```
 
 #![warn(missing_docs)]
+// No panicking escape hatches in production code: every failure must
+// surface as a typed error (tests may assert freely; see clippy.toml).
+#![deny(clippy::unwrap_used)]
+#![deny(clippy::expect_used)]
 
+mod admission;
 pub mod cache;
 mod stats;
 
 use std::fmt;
 use std::ops::Deref;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use sparse_analyze::AnalysisReport;
 use sparse_formats::descriptors::StructuralHasher;
 use sparse_formats::{AnyMatrix, AnyTensor, FormatDescriptor};
 use sparse_synthesis::{Conversion, RunError, SynthesisOptions};
 
-use cache::{Lookup, PlanCache};
+use cache::{panic_message, Lookup, PlanCache};
 use stats::StatsInner;
 pub use stats::EngineStats;
 
@@ -92,9 +98,14 @@ pub enum EngineError {
     /// message because failures are cached briefly and shared across
     /// threads.
     Plan(String),
-    /// Running a plan failed (dispatch mismatch, execution, or output
-    /// validation).
+    /// Running a plan failed (input validation, admission control,
+    /// dispatch mismatch, execution, or output validation).
     Run(RunError),
+    /// A worker panicked mid-conversion; the panic was contained at the
+    /// item boundary (`catch_unwind`) and carries the rendered payload.
+    /// The engine — cache, stats, sibling batch items — remains fully
+    /// usable.
+    Panicked(String),
 }
 
 impl fmt::Display for EngineError {
@@ -102,6 +113,7 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Plan(m) => write!(f, "planning failed: {m}"),
             EngineError::Run(e) => write!(f, "conversion failed: {e}"),
+            EngineError::Panicked(m) => write!(f, "conversion panicked (contained): {m}"),
         }
     }
 }
@@ -132,6 +144,25 @@ pub struct EngineConfig {
     /// verifier proved a parallel loop; unverified engines keep the
     /// historical trust-the-synthesizer behavior.
     pub verify_plans: bool,
+    /// Validate every input container against its source descriptor's
+    /// quantifier obligations before binding (default `true`). The
+    /// static verifier proves plans correct *assuming* those obligations
+    /// hold; this is the runtime half of that contract. Disable only for
+    /// trusted inputs on hot paths — violations then surface as typed
+    /// execution errors at best and silent garbage at worst.
+    pub validate_inputs: bool,
+    /// Admission-control budget in bytes for the *estimated destination
+    /// footprint* of each conversion (default `None` = unlimited).
+    /// Conversions whose estimate exceeds the budget are refused with
+    /// [`RunError::ResourceExhausted`] before any allocation — e.g. an
+    /// antidiagonal matrix headed for DIA (`ND × NR` slots) or a
+    /// skew-rowed matrix headed for ELL.
+    pub memory_budget: Option<u64>,
+    /// Per-batch wall-clock deadline (default `None` = unlimited). Items
+    /// not yet *started* when it expires fail with
+    /// [`RunError::DeadlineExceeded`]; items already executing run to
+    /// completion.
+    pub batch_deadline: Option<Duration>,
 }
 
 impl Default for EngineConfig {
@@ -141,6 +172,9 @@ impl Default for EngineConfig {
             threads: 0,
             options: SynthesisOptions::default(),
             verify_plans: false,
+            validate_inputs: true,
+            memory_budget: None,
+            batch_deadline: None,
         }
     }
 }
@@ -241,39 +275,61 @@ impl Engine {
         };
         StatsInner::add(&self.stats.plan_lookups, 1);
         let lookup = self.cache.get_or_insert_with(key, || {
-            let t0 = Instant::now();
-            let built = Conversion::new(src, dst, options).map_err(|e| e.to_string());
-            StatsInner::add(&self.stats.synth_nanos, t0.elapsed().as_nanos() as u64);
-            match &built {
-                Ok(_) => StatsInner::add(&self.stats.plans_synthesized, 1),
-                Err(_) => StatsInner::add(&self.stats.plan_failures, 1),
+            // Contain synthesizer/verifier panics here so the engine's
+            // counters stay exact; the cache's own catch_unwind is the
+            // backstop for builders it doesn't control.
+            match catch_unwind(AssertUnwindSafe(|| self.build_plan(src, dst, options, verify))) {
+                Ok(built) => built,
+                Err(payload) => {
+                    StatsInner::add(&self.stats.panics_caught, 1);
+                    StatsInner::add(&self.stats.plan_failures, 1);
+                    Err(format!("plan construction panicked: {}", panic_message(&*payload)))
+                }
             }
-            built.and_then(|conversion| {
-                if !verify {
-                    return Ok(Plan { conversion, verification: None });
-                }
-                let t1 = Instant::now();
-                let report = sparse_analyze::verify(&conversion.synth);
-                StatsInner::add(&self.stats.verify_nanos, t1.elapsed().as_nanos() as u64);
-                StatsInner::add(&self.stats.plans_verified, 1);
-                if !report.is_clean() {
-                    StatsInner::add(&self.stats.plans_rejected, 1);
-                    return Err(format!(
-                        "plan verification failed for {}:\n{}",
-                        report.pair,
-                        report.render_errors()
-                    ));
-                }
-                if report.has_parallel_loop() {
-                    StatsInner::add(&self.stats.parallel_plans, 1);
-                }
-                Ok(Plan { conversion, verification: Some(report) })
-            })
         });
         match lookup {
             Lookup::Hit(plan) | Lookup::Miss(plan) => Ok(plan),
             Lookup::Failed(msg) => Err(EngineError::Plan(msg)),
         }
+    }
+
+    /// The cache-miss path of [`Engine::plan`]: synthesize, lower, and
+    /// (optionally) verify one plan, with stats accounting.
+    fn build_plan(
+        &self,
+        src: &FormatDescriptor,
+        dst: &FormatDescriptor,
+        options: SynthesisOptions,
+        verify: bool,
+    ) -> Result<Plan, String> {
+        let t0 = Instant::now();
+        let built = Conversion::new(src, dst, options).map_err(|e| e.to_string());
+        StatsInner::add(&self.stats.synth_nanos, t0.elapsed().as_nanos() as u64);
+        match &built {
+            Ok(_) => StatsInner::add(&self.stats.plans_synthesized, 1),
+            Err(_) => StatsInner::add(&self.stats.plan_failures, 1),
+        }
+        built.and_then(|conversion| {
+            if !verify {
+                return Ok(Plan { conversion, verification: None });
+            }
+            let t1 = Instant::now();
+            let report = sparse_analyze::verify(&conversion.synth);
+            StatsInner::add(&self.stats.verify_nanos, t1.elapsed().as_nanos() as u64);
+            StatsInner::add(&self.stats.plans_verified, 1);
+            if !report.is_clean() {
+                StatsInner::add(&self.stats.plans_rejected, 1);
+                return Err(format!(
+                    "plan verification failed for {}:\n{}",
+                    report.pair,
+                    report.render_errors()
+                ));
+            }
+            if report.has_parallel_loop() {
+                StatsInner::add(&self.stats.parallel_plans, 1);
+            }
+            Ok(Plan { conversion, verification: Some(report) })
+        })
     }
 
     /// Converts one matrix from `src` to `dst`, returning the container
@@ -303,24 +359,64 @@ impl Engine {
         input: &AnyTensor,
     ) -> Result<AnyTensor, EngineError> {
         let plan = self.plan(src, dst)?;
+        if self.config.validate_inputs {
+            if let Err(e) = sparse_formats::validate_tensor(&plan.synth.src, input.as_ref()) {
+                StatsInner::add(&self.stats.inputs_rejected, 1);
+                return Err(EngineError::Run(e.into()));
+            }
+        }
+        if let Some(budget) = self.config.memory_budget {
+            let (what, needed) =
+                admission::estimate_tensor_output_bytes(&plan.synth.dst, input.as_ref());
+            if needed > budget {
+                StatsInner::add(&self.stats.inputs_rejected, 1);
+                return Err(EngineError::Run(RunError::ResourceExhausted {
+                    what: what.to_string(),
+                    needed,
+                    budget,
+                }));
+            }
+        }
         let nnz = input.nnz();
         let t0 = Instant::now();
-        let out = plan.run_tensor(input.as_ref()).map(|(out, _)| out);
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            plan.run_tensor_unchecked(input.as_ref()).map(|(out, _)| out)
+        }));
         StatsInner::add(&self.stats.exec_nanos, t0.elapsed().as_nanos() as u64);
         StatsInner::add(&self.stats.conversions, 1);
-        StatsInner::add(&self.stats.nnz_moved, nnz as u64);
-        Ok(out?)
+        match out {
+            Ok(Ok(out)) => {
+                StatsInner::add(&self.stats.nnz_moved, nnz as u64);
+                Ok(out)
+            }
+            Ok(Err(e)) => Err(EngineError::Run(e)),
+            Err(payload) => {
+                StatsInner::add(&self.stats.panics_caught, 1);
+                Err(EngineError::Panicked(panic_message(&*payload)))
+            }
+        }
     }
 
     /// Converts a batch of matrices from `src` to `dst` across this
-    /// engine's worker threads.
+    /// engine's worker threads, with **per-item fault isolation**: every
+    /// input gets its own `Result`, in input order, and one corrupted or
+    /// panicking item never discards its siblings' completed work.
     ///
     /// The plan is synthesized (or fetched) once and shared; inputs are
     /// split into contiguous chunks, one scoped thread per chunk, and
-    /// each conversion builds its own interpreter environment. Outputs
-    /// are returned **in input order** regardless of scheduling; on
-    /// multiple failures the lowest-index error wins, so results are
-    /// deterministic either way.
+    /// each conversion builds its own interpreter environment. Worker
+    /// panics are contained at the item boundary and surface as
+    /// [`EngineError::Panicked`] for that item alone.
+    ///
+    /// Items whose parallel-path attempt fails with a *transient* error
+    /// (execution fault or contained panic — not a validation, admission,
+    /// dispatch, or deadline rejection) are retried **once** on the
+    /// sequential reference path; each retry counts as a
+    /// `degraded_conversions` stat.
+    ///
+    /// With [`EngineConfig::batch_deadline`] set, items not yet started
+    /// when the deadline expires fail with [`RunError::DeadlineExceeded`]
+    /// (already-running items complete); expired items are not retried.
     ///
     /// Under [`EngineConfig::verify_plans`], fan-out is gated on the
     /// verifier's dependence verdict: only plans with a statically proved
@@ -330,45 +426,90 @@ impl Engine {
     /// behaves deterministically enough to be worth scheduling freely.)
     ///
     /// # Errors
-    /// Fails on planning failure or the first (by index) per-element
-    /// failure.
+    /// The outer `Err` is reserved for planning failures (there is no
+    /// per-item work to preserve without a plan). Everything after
+    /// planning is reported per item.
     pub fn convert_batch(
         &self,
         src: &FormatDescriptor,
         dst: &FormatDescriptor,
         inputs: &[AnyMatrix],
-    ) -> Result<Vec<AnyMatrix>, EngineError> {
+    ) -> Result<Vec<Result<AnyMatrix, EngineError>>, EngineError> {
         let plan = self.plan(src, dst)?;
         if inputs.is_empty() {
             return Ok(Vec::new());
         }
+        let deadline = self.config.batch_deadline.map(|d| (d, Instant::now() + d));
         let proved_parallel = match &plan.verification {
             Some(report) => report.has_parallel_loop(),
             None => !self.config.verify_plans,
         };
         let max_workers = if proved_parallel { self.config.effective_threads() } else { 1 };
         let workers = max_workers.clamp(1, inputs.len());
-        if workers == 1 {
-            return inputs.iter().map(|m| self.execute_one(&plan, m)).collect();
+
+        let mut results: Vec<Result<AnyMatrix, EngineError>> = if workers == 1 {
+            inputs.iter().map(|m| self.execute_deadlined(&plan, m, deadline)).collect()
+        } else {
+            let chunk = inputs.len().div_ceil(workers);
+            let mut slots: Vec<Option<Result<AnyMatrix, EngineError>>> = Vec::new();
+            slots.resize_with(inputs.len(), || None);
+            std::thread::scope(|scope| {
+                for (in_chunk, out_chunk) in inputs.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                    let plan = &plan;
+                    scope.spawn(move || {
+                        for (input, out) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                            *out = Some(self.execute_deadlined(plan, input, deadline));
+                        }
+                    });
+                }
+            });
+            // Per-item catch_unwind means workers always write their
+            // slots; an empty slot would indicate a harness bug, reported
+            // as a typed per-item error rather than a panic.
+            let filled: Vec<_> = slots
+                .into_iter()
+                .map(|r| {
+                    r.unwrap_or_else(|| {
+                        Err(EngineError::Panicked("batch slot never written".to_string()))
+                    })
+                })
+                .collect();
+            filled
+        };
+
+        // Degraded retry: transient parallel-path failures get one
+        // sequential attempt. Deterministic rejections (invalid input,
+        // admission, dispatch, deadline) would fail identically and are
+        // not retried.
+        if workers > 1 {
+            for (input, slot) in inputs.iter().zip(results.iter_mut()) {
+                if slot.as_ref().is_err_and(transient) {
+                    StatsInner::add(&self.stats.degraded_conversions, 1);
+                    *slot = self.execute_one(&plan, input);
+                }
+            }
         }
 
-        let chunk = inputs.len().div_ceil(workers);
-        let mut results: Vec<Option<Result<AnyMatrix, EngineError>>> = Vec::new();
-        results.resize_with(inputs.len(), || None);
-        std::thread::scope(|scope| {
-            for (in_chunk, out_chunk) in inputs.chunks(chunk).zip(results.chunks_mut(chunk)) {
-                let plan = &plan;
-                scope.spawn(move || {
-                    for (input, out) in in_chunk.iter().zip(out_chunk.iter_mut()) {
-                        *out = Some(self.execute_one(plan, input));
-                    }
-                });
+        let failed = results.iter().filter(|r| r.is_err()).count();
+        StatsInner::add(&self.stats.items_failed, failed as u64);
+        Ok(results)
+    }
+
+    /// One batch item: fail fast with [`RunError::DeadlineExceeded`] when
+    /// the batch deadline has already expired, execute otherwise.
+    fn execute_deadlined(
+        &self,
+        plan: &Plan,
+        input: &AnyMatrix,
+        deadline: Option<(Duration, Instant)>,
+    ) -> Result<AnyMatrix, EngineError> {
+        if let Some((budget, at)) = deadline {
+            if Instant::now() >= at {
+                StatsInner::add(&self.stats.deadline_expired, 1);
+                return Err(EngineError::Run(RunError::DeadlineExceeded { deadline: budget }));
             }
-        });
-        results
-            .into_iter()
-            .map(|r| r.expect("every batch slot is written by its worker"))
-            .collect()
+        }
+        self.execute_one(plan, input)
     }
 
     /// A point-in-time snapshot of this engine's counters.
@@ -381,17 +522,156 @@ impl Engine {
         self.cache.clear();
     }
 
-    fn execute_one(
-        &self,
-        plan: &Conversion,
-        input: &AnyMatrix,
-    ) -> Result<AnyMatrix, EngineError> {
+    /// The single-item execution path shared by [`Engine::convert`] and
+    /// every batch item: validate → admission check → execute under
+    /// `catch_unwind`. The panic guard makes this the engine's fault
+    /// boundary — nothing downstream of it can take out a caller.
+    fn execute_one(&self, plan: &Plan, input: &AnyMatrix) -> Result<AnyMatrix, EngineError> {
+        if self.config.validate_inputs {
+            if let Err(e) = sparse_formats::validate_matrix(&plan.synth.src, input.as_ref()) {
+                StatsInner::add(&self.stats.inputs_rejected, 1);
+                return Err(EngineError::Run(e.into()));
+            }
+        }
+        if let Some(budget) = self.config.memory_budget {
+            let (what, needed) =
+                admission::estimate_matrix_output_bytes(&plan.synth.dst, input.as_ref());
+            if needed > budget {
+                StatsInner::add(&self.stats.inputs_rejected, 1);
+                return Err(EngineError::Run(RunError::ResourceExhausted {
+                    what: what.to_string(),
+                    needed,
+                    budget,
+                }));
+            }
+        }
         let nnz = input.nnz();
         let t0 = Instant::now();
-        let out = plan.run_matrix(input.as_ref()).map(|(out, _)| out);
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            plan.run_matrix_unchecked(input.as_ref()).map(|(out, _)| out)
+        }));
         StatsInner::add(&self.stats.exec_nanos, t0.elapsed().as_nanos() as u64);
         StatsInner::add(&self.stats.conversions, 1);
-        StatsInner::add(&self.stats.nnz_moved, nnz as u64);
-        Ok(out?)
+        match out {
+            Ok(Ok(out)) => {
+                StatsInner::add(&self.stats.nnz_moved, nnz as u64);
+                Ok(out)
+            }
+            Ok(Err(e)) => Err(EngineError::Run(e)),
+            Err(payload) => {
+                StatsInner::add(&self.stats.panics_caught, 1);
+                Err(EngineError::Panicked(panic_message(&*payload)))
+            }
+        }
+    }
+}
+
+/// Whether a per-item failure is worth one sequential retry: execution
+/// faults and contained panics may be scheduling artifacts; validation,
+/// admission, dispatch, and deadline rejections are deterministic
+/// functions of the input and would fail identically.
+fn transient(e: &EngineError) -> bool {
+    match e {
+        EngineError::Panicked(_) => true,
+        EngineError::Plan(_) => false,
+        EngineError::Run(run) => matches!(
+            run,
+            RunError::Exec(_) | RunError::Format(_) | RunError::MissingOutput(_)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_formats::descriptors::{self, ScanInfo};
+    use sparse_formats::CooMatrix;
+    use spf_ir::order::{Comparator, KeyDim, OrderKey};
+    use spf_ir::{parse_relation, parse_set, LinExpr, UfSignature, VarId};
+
+    /// A COO-like destination ordered by a user-defined comparator — the
+    /// one catalog mechanism that runs arbitrary caller code inside the
+    /// interpreter, and therefore the engine's only genuine panic vector
+    /// now that binds and validation are typed-error-complete.
+    fn userfn_dst() -> FormatDescriptor {
+        let mut ufs = spf_ir::UfEnvironment::new();
+        ufs.insert(
+            UfSignature::parse("rowx", "{ [x] : 0 <= x < NNZ }", "{ [i] : 0 <= i < NR }", None)
+                .unwrap(),
+        );
+        ufs.insert(
+            UfSignature::parse("colx", "{ [x] : 0 <= x < NNZ }", "{ [j] : 0 <= j < NC }", None)
+                .unwrap(),
+        );
+        let mut scan_set =
+            parse_set("{ [n, i, j] : i = rowx(n) && j = colx(n) && 0 <= n < NNZ }").unwrap();
+        scan_set.simplify();
+        FormatDescriptor {
+            name: "XCOO".into(),
+            rank: 2,
+            sparse_to_dense: parse_relation(
+                "{ [n, ii, jj] -> [i, j] : rowx(n) = i && colx(n) = j && ii = i && jj = j \
+                 && 0 <= n < NNZ }",
+            )
+            .unwrap(),
+            data_access: parse_relation("{ [n, ii, jj] -> [d0] : d0 = n }").unwrap(),
+            scan: Some(ScanInfo {
+                set: scan_set,
+                dense_pos: vec![1, 2],
+                data_index: LinExpr::var(VarId(0)),
+            }),
+            ufs,
+            order: Some(OrderKey {
+                comparator: Comparator::UserFn("EXPLODES".into()),
+                dims: vec![KeyDim::coord(2, 0), KeyDim::coord(2, 1)],
+            }),
+            data_name: "Ax".into(),
+            data_size: vec![LinExpr::sym("NNZ")],
+            dim_syms: vec!["NR".into(), "NC".into()],
+            nnz_sym: "NNZ".into(),
+            extra_syms: vec![],
+            coord_ufs: vec![Some("rowx".into()), Some("colx".into())],
+            contiguous_data: true,
+        }
+    }
+
+    #[test]
+    fn execution_panic_is_contained_as_typed_error() {
+        let engine = Engine::new();
+        let mut conversion =
+            Conversion::new(&descriptors::scoo(), &userfn_dst(), SynthesisOptions::default())
+                .unwrap();
+        conversion.register_comparator(
+            "EXPLODES",
+            Arc::new(|_: &[i64], _: &[i64]| panic!("comparator exploded")),
+        );
+        let plan = Plan { conversion, verification: None };
+        let input = AnyMatrix::Coo(
+            CooMatrix::from_triplets(
+                4,
+                4,
+                vec![0, 1, 2, 3],
+                vec![1, 0, 3, 2],
+                vec![1.0, 2.0, 3.0, 4.0],
+            )
+            .unwrap(),
+        );
+
+        let err = engine.execute_one(&plan, &input).unwrap_err();
+        match err {
+            EngineError::Panicked(m) => assert!(m.contains("comparator exploded"), "{m}"),
+            other => panic!("expected a contained panic, got: {other}"),
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.panics_caught, 1, "the panic must be counted");
+        assert_eq!(stats.conversions, 1, "the attempt still counts as a conversion");
+        assert_eq!(stats.nnz_moved, 0, "panicked conversions move no nnz");
+
+        // The engine — cache, counters, later converts — survives intact.
+        let out = engine
+            .convert(&descriptors::scoo(), &descriptors::csr(), &input)
+            .unwrap();
+        assert!(matches!(out, AnyMatrix::Csr(_)));
+        assert_eq!(engine.stats().panics_caught, 1);
     }
 }

@@ -18,6 +18,11 @@ pub(crate) struct StatsInner {
     pub synth_nanos: AtomicU64,
     pub verify_nanos: AtomicU64,
     pub exec_nanos: AtomicU64,
+    pub inputs_rejected: AtomicU64,
+    pub items_failed: AtomicU64,
+    pub panics_caught: AtomicU64,
+    pub degraded_conversions: AtomicU64,
+    pub deadline_expired: AtomicU64,
 }
 
 impl StatsInner {
@@ -44,6 +49,11 @@ impl StatsInner {
             synth_time: Duration::from_nanos(self.synth_nanos.load(Ordering::Relaxed)),
             verify_time: Duration::from_nanos(self.verify_nanos.load(Ordering::Relaxed)),
             exec_time: Duration::from_nanos(self.exec_nanos.load(Ordering::Relaxed)),
+            inputs_rejected: self.inputs_rejected.load(Ordering::Relaxed),
+            items_failed: self.items_failed.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            degraded_conversions: self.degraded_conversions.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
         }
     }
 }
@@ -88,4 +98,22 @@ pub struct EngineStats {
     /// Cumulative wall time spent executing inspectors (summed across
     /// batch workers, so it can exceed wall-clock under parallelism).
     pub exec_time: Duration,
+    /// Inputs refused *before* execution: validation failures
+    /// (`RunError::InvalidInput`) plus admission-control refusals
+    /// (`RunError::ResourceExhausted`). Refused inputs do not count as
+    /// `conversions`.
+    pub inputs_rejected: u64,
+    /// Batch items whose final (post-degradation) result was an error.
+    /// Includes rejected, failed, panicked, and deadline-expired items;
+    /// single `convert` calls are not counted here.
+    pub items_failed: u64,
+    /// Worker panics contained at an isolation boundary (per-item
+    /// `catch_unwind` or the plan builder).
+    pub panics_caught: u64,
+    /// Batch items retried on the sequential path after their
+    /// parallel-path attempt failed with a transient error.
+    pub degraded_conversions: u64,
+    /// Batch items that never started because the per-batch deadline
+    /// expired first (`RunError::DeadlineExceeded`).
+    pub deadline_expired: u64,
 }

@@ -68,11 +68,18 @@ fn batch_matches_sequential_element_for_element() {
     for threads in [1, 2, 4, 32] {
         let parallel =
             Engine::with_config(EngineConfig { threads, ..Default::default() });
-        let got = parallel.convert_batch(&src, &dst, &inputs).unwrap();
+        let got: Vec<AnyMatrix> = parallel
+            .convert_batch(&src, &dst, &inputs)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
         assert_eq!(got, expected, "threads={threads}: order or content diverged");
         let stats = parallel.stats();
         assert_eq!(stats.plans_synthesized, 1, "threads={threads}");
         assert_eq!(stats.conversions, inputs.len() as u64, "threads={threads}");
+        assert_eq!(stats.items_failed, 0, "threads={threads}");
+        assert_eq!(stats.panics_caught, 0, "threads={threads}");
     }
 }
 
@@ -81,27 +88,51 @@ fn batch_handles_empty_and_single_inputs() {
     let engine = Engine::new();
     let src = descriptors::scoo();
     let dst = descriptors::csc();
-    assert_eq!(engine.convert_batch(&src, &dst, &[]).unwrap(), Vec::new());
+    assert!(engine.convert_batch(&src, &dst, &[]).unwrap().is_empty());
     let one = vec![AnyMatrix::Coo(sample_scoo(7, 7, 2, 0))];
     let got = engine.convert_batch(&src, &dst, &one).unwrap();
     assert_eq!(got.len(), 1);
-    assert_eq!(got[0], engine.convert(&src, &dst, &one[0]).unwrap());
+    assert_eq!(
+        *got[0].as_ref().unwrap(),
+        engine.convert(&src, &dst, &one[0]).unwrap()
+    );
 }
 
+/// Regression test: `convert_batch` used to propagate the first error and
+/// discard every sibling's completed work. One bad item must now cost
+/// exactly one slot — deterministically, at its own index.
 #[test]
-fn batch_error_reports_lowest_failing_index_deterministically() {
+fn batch_preserves_completed_work_around_a_failing_item() {
     let engine = Engine::with_config(EngineConfig { threads: 4, ..Default::default() });
     let src = descriptors::scoo();
     let dst = descriptors::csr();
-    // Second half of the batch has the wrong container for the source
-    // descriptor; the batch must fail the same way every time.
+    // Item 3 has the wrong container for the source descriptor; its
+    // siblings must convert anyway, in order, every time.
     let mut inputs: Vec<AnyMatrix> = (0..6)
         .map(|i| AnyMatrix::Coo(sample_scoo(8, 8, 2, i)))
         .collect();
     let csr = sparse_formats::CsrMatrix::from_coo(&sample_scoo(8, 8, 2, 0));
-    inputs.push(AnyMatrix::Csr(csr));
-    let e1 = engine.convert_batch(&src, &dst, &inputs).unwrap_err().to_string();
-    let e2 = engine.convert_batch(&src, &dst, &inputs).unwrap_err().to_string();
-    assert_eq!(e1, e2);
-    assert!(e1.contains("csr"), "{e1}");
+    inputs.insert(3, AnyMatrix::Csr(csr));
+
+    let first = engine.convert_batch(&src, &dst, &inputs).unwrap();
+    let second = engine.convert_batch(&src, &dst, &inputs).unwrap();
+    for results in [&first, &second] {
+        assert_eq!(results.len(), 7);
+        for (i, r) in results.iter().enumerate() {
+            if i == 3 {
+                let msg = r.as_ref().unwrap_err().to_string();
+                assert!(msg.contains("csr"), "{msg}");
+            } else {
+                assert!(matches!(r.as_ref().unwrap(), AnyMatrix::Csr(_)), "item {i}");
+            }
+        }
+    }
+    let errs: Vec<String> = [&first, &second]
+        .iter()
+        .map(|r| r[3].as_ref().unwrap_err().to_string())
+        .collect();
+    assert_eq!(errs[0], errs[1], "per-item errors must be deterministic");
+    let stats = engine.stats();
+    assert_eq!(stats.items_failed, 2, "one failed item per batch run");
+    assert_eq!(stats.panics_caught, 0);
 }

@@ -249,7 +249,7 @@ fn verified_batch_fans_out_on_proved_parallel_plan() {
         .unwrap();
     assert_eq!(outs.len(), 4);
     for out in outs {
-        assert_eq!(out, AnyMatrix::Coo(coo.clone()));
+        assert_eq!(out.unwrap(), AnyMatrix::Coo(coo.clone()));
     }
     let stats = engine.stats();
     assert_eq!(stats.plans_verified, 1);
@@ -274,7 +274,7 @@ fn verified_batch_stays_correct_without_a_parallelism_proof() {
         .convert_batch(&descriptors::scoo(), &descriptors::csr(), &inputs)
         .unwrap();
     for out in outs {
-        assert_eq!(out, AnyMatrix::Csr(CsrMatrix::from_coo(&coo)));
+        assert_eq!(out.unwrap(), AnyMatrix::Csr(CsrMatrix::from_coo(&coo)));
     }
     let plan = engine.plan(&descriptors::scoo(), &descriptors::csr()).unwrap();
     let report = plan.verification.as_ref().unwrap();

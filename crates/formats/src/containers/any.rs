@@ -51,8 +51,8 @@ impl AnyMatrix {
             AnyMatrix::Coo(m) => m.val.len(),
             AnyMatrix::Csr(m) => m.val.len(),
             AnyMatrix::Csc(m) => m.val.len(),
-            AnyMatrix::Dia(m) => m.to_coo().val.len(),
-            AnyMatrix::Ell(m) => m.col.iter().filter(|&&c| c >= 0).count(),
+            AnyMatrix::Dia(m) => m.stored_nnz(),
+            AnyMatrix::Ell(m) => m.stored_nnz(),
             AnyMatrix::MortonCoo(m) => m.coo.val.len(),
         }
     }

@@ -58,13 +58,15 @@ impl BcsrMatrix {
                 lens: vec![self.browptr.len(), self.block_rows() + 1],
             });
         }
-        if self.browptr[0] != 0
-            || *self.browptr.last().unwrap() != self.nblocks() as i64
-        {
+        // The length check above guarantees browptr is non-empty; the -1
+        // sentinel keeps this total (and failing) if that ever regresses.
+        let first = self.browptr.first().copied().unwrap_or(-1);
+        let last = self.browptr.last().copied().unwrap_or(-1);
+        if first != 0 || last != self.nblocks() as i64 {
             return Err(FormatError::BadPointerEnds {
                 what: "BCSR browptr",
-                first: self.browptr[0],
-                last: *self.browptr.last().unwrap(),
+                first,
+                last,
                 nnz: self.nblocks() as i64,
             });
         }

@@ -59,13 +59,12 @@ impl CscMatrix {
             });
         }
         let nnz = self.val.len() as i64;
-        if self.colptr[0] != 0 || *self.colptr.last().unwrap() != nnz {
-            return Err(FormatError::BadPointerEnds {
-                what: "CSC colptr",
-                first: self.colptr[0],
-                last: *self.colptr.last().unwrap(),
-                nnz,
-            });
+        // The length check above guarantees colptr is non-empty; the -1
+        // sentinel keeps this total (and failing) if that ever regresses.
+        let first = self.colptr.first().copied().unwrap_or(-1);
+        let last = self.colptr.last().copied().unwrap_or(-1);
+        if first != 0 || last != nnz {
+            return Err(FormatError::BadPointerEnds { what: "CSC colptr", first, last, nnz });
         }
         if self.colptr.windows(2).any(|w| w[0] > w[1]) {
             return Err(FormatError::NotMonotonic { what: "CSC colptr" });

@@ -57,12 +57,18 @@ impl CsfTensor {
                 out.idx0.push(t.i0[n]);
                 out.ptr1.push(out.idx1.len() as i64);
             }
+            // ptr1/ptr2 are seeded with [0] and only ever grow, so a last
+            // element always exists.
             if new_fiber {
                 out.idx1.push(t.i1[n]);
                 out.ptr2.push(out.idx2.len() as i64);
-                *out.ptr1.last_mut().unwrap() = out.idx1.len() as i64;
+                if let Some(end) = out.ptr1.last_mut() {
+                    *end = out.idx1.len() as i64;
+                }
             }
-            *out.ptr2.last_mut().unwrap() = n as i64 + 1;
+            if let Some(end) = out.ptr2.last_mut() {
+                *end = n as i64 + 1;
+            }
         }
         out
     }

@@ -62,13 +62,12 @@ impl CsrMatrix {
             });
         }
         let nnz = self.val.len() as i64;
-        if self.rowptr[0] != 0 || *self.rowptr.last().unwrap() != nnz {
-            return Err(FormatError::BadPointerEnds {
-                what: "CSR rowptr",
-                first: self.rowptr[0],
-                last: *self.rowptr.last().unwrap(),
-                nnz,
-            });
+        // The length check above guarantees rowptr is non-empty; the -1
+        // sentinel keeps this total (and failing) if that ever regresses.
+        let first = self.rowptr.first().copied().unwrap_or(-1);
+        let last = self.rowptr.last().copied().unwrap_or(-1);
+        if first != 0 || last != nnz {
+            return Err(FormatError::BadPointerEnds { what: "CSR rowptr", first, last, nnz });
         }
         if self.rowptr.windows(2).any(|w| w[0] > w[1]) {
             return Err(FormatError::NotMonotonic { what: "CSR rowptr" });

@@ -61,10 +61,14 @@ impl DiaMatrix {
                 dims: vec![self.nr, self.nc],
             });
         }
-        if self.data.len() != self.nd() * self.nr {
+        // checked_mul: with corrupt public fields `nd * nr` can exceed
+        // usize, and a wrapping product must read as a length mismatch,
+        // not an arithmetic panic.
+        let expected = self.nd().checked_mul(self.nr);
+        if expected != Some(self.data.len()) {
             return Err(FormatError::LengthMismatch {
                 what: "DIA data (must be nd * nr)",
-                lens: vec![self.data.len(), self.nd() * self.nr],
+                lens: vec![self.data.len(), expected.unwrap_or(usize::MAX)],
             });
         }
         for i in 0..self.nr {
@@ -87,6 +91,28 @@ impl DiaMatrix {
         self.off.len()
     }
 
+    /// Structural nonzero count: in-matrix slots holding a nonzero value.
+    /// Total (never panics), even on containers whose public fields
+    /// violate the invariants — out-of-range slots simply don't count.
+    pub fn stored_nnz(&self) -> usize {
+        let nd = self.nd();
+        let mut nnz = 0;
+        for i in 0..self.nr {
+            for (d, &o) in self.off.iter().enumerate() {
+                let j = i as i64 + o;
+                if j < 0 || j >= self.nc as i64 {
+                    continue;
+                }
+                if let Some(slot) = i.checked_mul(nd).and_then(|k| k.checked_add(d)) {
+                    if self.data.get(slot).is_some_and(|&v| v != 0.0) {
+                        nnz += 1;
+                    }
+                }
+            }
+        }
+        nnz
+    }
+
     /// Value at `(i, j)`; zero when the diagonal is absent.
     pub fn get(&self, i: usize, j: usize) -> f64 {
         match self.off.binary_search(&(j as i64 - i as i64)) {
@@ -101,8 +127,10 @@ impl DiaMatrix {
         let nd = off.len();
         let mut data = vec![0.0; nd * coo.nr];
         for (i, j, v) in coo.iter() {
-            let d = off.binary_search(&(j - i)).expect("diagonal present");
-            data[i as usize * nd + d] += v;
+            // `off` is exactly coo.diagonals(), so the search always hits.
+            if let Ok(d) = off.binary_search(&(j - i)) {
+                data[i as usize * nd + d] += v;
+            }
         }
         DiaMatrix { nr: coo.nr, nc: coo.nc, off, data }
     }

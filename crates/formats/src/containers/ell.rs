@@ -48,10 +48,14 @@ impl EllMatrix {
     /// # Errors
     /// Returns the first violated invariant.
     pub fn validate(&self) -> Result<(), FormatError> {
-        if self.col.len() != self.nr * self.width || self.data.len() != self.col.len() {
+        // checked_mul: corrupt fields can push `nr * width` past usize,
+        // and a wrapping product must read as a length mismatch, not an
+        // arithmetic panic.
+        let expected = self.nr.checked_mul(self.width);
+        if expected != Some(self.col.len()) || self.data.len() != self.col.len() {
             return Err(FormatError::LengthMismatch {
                 what: "ELL col/data (must be nr * width)",
-                lens: vec![self.col.len(), self.data.len(), self.nr * self.width],
+                lens: vec![self.col.len(), self.data.len(), expected.unwrap_or(usize::MAX)],
             });
         }
         for i in 0..self.nr {
@@ -88,6 +92,12 @@ impl EllMatrix {
             }
         }
         Ok(())
+    }
+
+    /// Structural nonzero count: occupied (non-sentinel) slots. Total
+    /// (never panics), even on invariant-violating containers.
+    pub fn stored_nnz(&self) -> usize {
+        self.col.iter().filter(|&&c| c >= 0).count()
     }
 
     /// Reference conversion from COO.

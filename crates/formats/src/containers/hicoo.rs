@@ -78,16 +78,22 @@ impl HicooTensor {
                 t.i1[n] >> block_bits,
                 t.i2[n] >> block_bits,
             );
-            let new_block = out.bi.last().is_none_or(|&pbi| {
-                (pbi, *out.bj.last().unwrap(), *out.bk.last().unwrap()) != (bi, bj, bk)
-            });
+            // bi/bj/bk are pushed in lockstep, so their last elements
+            // exist (or not) together.
+            let new_block = match (out.bi.last(), out.bj.last(), out.bk.last()) {
+                (Some(&pbi), Some(&pbj), Some(&pbk)) => (pbi, pbj, pbk) != (bi, bj, bk),
+                _ => true,
+            };
             if new_block {
                 out.bi.push(bi);
                 out.bj.push(bj);
                 out.bk.push(bk);
                 out.bptr.push(n as i64);
             }
-            *out.bptr.last_mut().unwrap() = n as i64 + 1;
+            // bptr is seeded with [0] and only ever grows.
+            if let Some(end) = out.bptr.last_mut() {
+                *end = n as i64 + 1;
+            }
             out.ei.push((t.i0[n] & mask) as u16);
             out.ej.push((t.i1[n] & mask) as u16);
             out.ek.push((t.i2[n] & mask) as u16);

@@ -499,6 +499,12 @@ pub fn range_max(sig: &UfSignature) -> Option<LinExpr> {
     None
 }
 
+// The three parsers below consume only string literals baked into this
+// module (the Table 1 catalog); a parse failure is a typo-in-the-source
+// class of bug that every descriptor unit test hits immediately, so
+// panicking is correct and the no-panic lint is waived.
+
+#[allow(clippy::expect_used)]
 fn sig(
     name: &str,
     domain: &str,
@@ -508,12 +514,14 @@ fn sig(
     UfSignature::parse(name, domain, range, mono).expect("static signature parses")
 }
 
+#[allow(clippy::expect_used)]
 fn simplified_set(src: &str) -> Set {
     let mut s = parse_set(src).expect("static set parses");
     s.simplify();
     s
 }
 
+#[allow(clippy::expect_used)]
 fn rel(src: &str) -> Relation {
     parse_relation(src).expect("static relation parses")
 }

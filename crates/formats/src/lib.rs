@@ -24,11 +24,16 @@
 //! ```
 
 #![warn(missing_docs)]
+// No panicking escape hatches in production code: every failure must
+// surface as a typed error (tests may assert freely; see clippy.toml).
+#![deny(clippy::unwrap_used)]
+#![deny(clippy::expect_used)]
 #![warn(rust_2018_idioms)]
 
 pub mod containers;
 pub mod descriptors;
 pub mod error;
+pub mod validate;
 
 pub use containers::{
     AnyMatrix, AnyTensor, BcsrMatrix, Coo3Tensor, CooMatrix, CscMatrix, CsfTensor, CsrMatrix,
@@ -39,3 +44,4 @@ pub use descriptors::{
     domain_alloc_size, range_max, FormatDescriptor, FormatKind, ScanInfo, StructuralHasher,
 };
 pub use error::FormatError;
+pub use validate::{validate_matrix, validate_tensor, InputCheck, ValidationError};

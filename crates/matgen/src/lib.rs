@@ -19,11 +19,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod corrupt;
 pub mod generators;
 pub mod mm;
 pub mod suite;
 pub mod tns;
 
+pub use corrupt::{corrupt_matrix, Corruption};
 pub use generators::{
     banded, dedup_coo, fem_like, power_law, random_uniform, skewed_tensor,
     spread_offsets, stencil5, stencil7,

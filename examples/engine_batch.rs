@@ -44,10 +44,15 @@ fn main() {
         println!("scoo -> {label:<20} produced `{}` ({} nnz)", out.label(), out.nnz());
     }
 
-    // ...and a parallel batch sharing one cached plan. Outputs come back
-    // in input order.
+    // ...and a parallel batch sharing one cached plan. Each item gets its
+    // own fault-isolated result, in input order.
     let batch: Vec<AnyMatrix> = (0..12).map(|i| make_matrix(48 + i, 3, i as u64)).collect();
-    let results = engine.convert_batch(&scoo, &descriptors::csr(), &batch).unwrap();
+    let results: Vec<AnyMatrix> = engine
+        .convert_batch(&scoo, &descriptors::csr(), &batch)
+        .unwrap()
+        .into_iter()
+        .map(|item| item.unwrap())
+        .collect();
     println!(
         "batch of {} converted; first dims {:?}, last dims {:?}",
         results.len(),

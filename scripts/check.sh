@@ -13,6 +13,18 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> no-panic gate: hardened crates deny unwrap/expect in non-test code"
+# sparse-engine and sparse-formats carry crate-level
+# #![deny(clippy::unwrap_used, clippy::expect_used)]; clippy.toml exempts
+# #[cfg(test)] code. Any panicking escape hatch in production code fails
+# this step. (The flags live in the crates, not on the command line,
+# because trailing clippy flags leak into workspace-internal deps.)
+cargo clippy -q -p sparse-engine -p sparse-formats --lib
+
+echo "==> fault-injection suite (zero-panic execution contract)"
+cargo test -q -p sparse-engine --test fault_injection
+cargo test -q -p sparse-matgen corrupt
+
 echo "==> cargo run --release --example lint_descriptor (static-analysis gate)"
 # Lints every catalog descriptor and statically verifies every
 # synthesizable conversion plan; exits nonzero on any error or warning.
