@@ -509,7 +509,7 @@ fn export_copy(b: &mut RoutineBuilder, idx_arr: &str, data_arr: &str, len: Expr)
 // Runners: bind containers, execute, extract.
 // ---------------------------------------------------------------------
 
-fn coo_env(m: &CooMatrix) -> RtEnv {
+fn coo_env<'a>(m: &'a CooMatrix) -> RtEnv<'a> {
     RtEnv::new()
         .with_sym("NR", m.nr as i64)
         .with_sym("NC", m.nc as i64)
@@ -519,7 +519,7 @@ fn coo_env(m: &CooMatrix) -> RtEnv {
         .with_data("Acoo", m.val.clone())
 }
 
-fn csr_env(m: &CsrMatrix) -> RtEnv {
+fn csr_env<'a>(m: &'a CsrMatrix) -> RtEnv<'a> {
     RtEnv::new()
         .with_sym("NR", m.nr as i64)
         .with_sym("NC", m.nc as i64)
@@ -543,9 +543,9 @@ pub fn run_coo_to_csr(
         CsrMatrix {
             nr: m.nr,
             nc: m.nc,
-            rowptr: env.ufs["rowptr"].clone(),
-            col: env.ufs["outcol"].clone(),
-            val: env.data["Aout"].clone(),
+            rowptr: env.ufs["rowptr"].to_vec(),
+            col: env.ufs["outcol"].to_vec(),
+            val: env.data["Aout"].to_vec(),
         },
         stats,
     ))
@@ -565,9 +565,9 @@ pub fn run_coo_to_csc(
         CscMatrix {
             nr: m.nr,
             nc: m.nc,
-            colptr: env.ufs["colptr"].clone(),
-            row: env.ufs["outrow"].clone(),
-            val: env.data["Aout"].clone(),
+            colptr: env.ufs["colptr"].to_vec(),
+            row: env.ufs["outrow"].to_vec(),
+            val: env.data["Aout"].to_vec(),
         },
         stats,
     ))
@@ -587,9 +587,9 @@ pub fn run_csr_to_csc(
         CscMatrix {
             nr: m.nr,
             nc: m.nc,
-            colptr: env.ufs["colptr"].clone(),
-            row: env.ufs["outrow"].clone(),
-            val: env.data["Aout"].clone(),
+            colptr: env.ufs["colptr"].to_vec(),
+            row: env.ufs["outrow"].to_vec(),
+            val: env.data["Aout"].to_vec(),
         },
         stats,
     ))
@@ -611,7 +611,7 @@ pub fn run_coo_to_dia(
             nr: m.nr,
             nc: m.nc,
             off: env.ufs["off"][..nd].to_vec(),
-            data: env.data["Aout"].clone(),
+            data: env.data["Aout"].to_vec(),
         },
         stats,
     ))

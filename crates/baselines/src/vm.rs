@@ -23,7 +23,7 @@ impl VmRoutine {
     ///
     /// # Errors
     /// Propagates interpreter errors.
-    pub fn execute(&self, env: &mut RtEnv) -> Result<ExecStats, ExecError> {
+    pub fn execute(&self, env: &mut RtEnv<'_>) -> Result<ExecStats, ExecError> {
         for (name, width, order, unique) in &self.lists {
             env.lists
                 .insert(name.clone(), OrderedList::new(*width, order.clone(), *unique));

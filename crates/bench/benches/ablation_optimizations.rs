@@ -81,7 +81,7 @@ fn ablation_executor(c: &mut Criterion) {
     let compiled = comp.lower().unwrap();
     let mut env = RtEnv::new();
     synth_run::bind_csr(&mut env, &descriptors::csr(), &csr).unwrap();
-    env.data.insert(executor::names::X.to_string(), x.clone());
+    env.data.insert(executor::names::X.to_string(), x.clone().into());
 
     let mut group = c.benchmark_group("ablation_executor_spmv");
     group.bench_function("generated_interpreted", |b| {

@@ -13,7 +13,7 @@ use spf_codegen::runtime::RtEnv;
 const SCALE: usize = 256;
 const MATRICES: [&str; 4] = ["jnlbrng1", "majorbasis", "scircuit", "ecology1"];
 
-fn coo_env(m: &sparse_formats::CooMatrix) -> RtEnv {
+fn coo_env(m: &sparse_formats::CooMatrix) -> RtEnv<'_> {
     RtEnv::new()
         .with_sym("NR", m.nr as i64)
         .with_sym("NC", m.nc as i64)
@@ -48,6 +48,15 @@ fn bench_kind(c: &mut Criterion, kind: Fig2Kind, group_name: &str) {
             BenchmarkId::new("synthesized", spec.name),
             &(),
             |b, ()| b.iter(|| conv.execute_env(&mut env).unwrap()),
+        );
+
+        // Same inspector with ExecStats counting compiled out
+        // (`execute_quiet`): the delta is the cost of statement/op
+        // accounting on the interpreter hot path.
+        group.bench_with_input(
+            BenchmarkId::new("synthesized_nostats", spec.name),
+            &(),
+            |b, ()| b.iter(|| conv.execute_env_quiet(&mut env).unwrap()),
         );
 
         // Baselines.

@@ -7,6 +7,7 @@
 //! loop variables become register indices and UF/data/list names become
 //! dense table indices, leaving only array indexing in the hot loops.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -192,6 +193,24 @@ struct Compiler {
 }
 
 impl Compiler {
+    /// Builds a binary node, folding `Const op Const` at compile time so the
+    /// interpreter never revisits arithmetic on literals (`Div` folds only
+    /// when the divisor is nonzero — a literal division by zero must still
+    /// surface as a runtime [`ExecError::DivByZero`]).
+    fn binary(
+        a: CExpr,
+        b: CExpr,
+        fold: fn(i64, i64) -> Option<i64>,
+        build: fn(Box<CExpr>, Box<CExpr>) -> CExpr,
+    ) -> CExpr {
+        if let (CExpr::Const(x), CExpr::Const(y)) = (&a, &b) {
+            if let Some(v) = fold(*x, *y) {
+                return CExpr::Const(v);
+            }
+        }
+        build(Box::new(a), Box::new(b))
+    }
+
     fn expr(&mut self, e: &Expr) -> CExpr {
         match e {
             Expr::Const(c) => CExpr::Const(*c),
@@ -206,12 +225,42 @@ impl Compiler {
                 args: args.iter().map(|a| self.expr(a)).collect(),
             },
             Expr::ListLen(l) => CExpr::ListLen(self.lists.intern(l)),
-            Expr::Add(a, b) => CExpr::Add(Box::new(self.expr(a)), Box::new(self.expr(b))),
-            Expr::Sub(a, b) => CExpr::Sub(Box::new(self.expr(a)), Box::new(self.expr(b))),
-            Expr::Mul(a, b) => CExpr::Mul(Box::new(self.expr(a)), Box::new(self.expr(b))),
-            Expr::Div(a, b) => CExpr::Div(Box::new(self.expr(a)), Box::new(self.expr(b))),
-            Expr::Min(a, b) => CExpr::Min(Box::new(self.expr(a)), Box::new(self.expr(b))),
-            Expr::Max(a, b) => CExpr::Max(Box::new(self.expr(a)), Box::new(self.expr(b))),
+            Expr::Add(a, b) => Self::binary(
+                self.expr(a),
+                self.expr(b),
+                |x, y| Some(x.wrapping_add(y)),
+                CExpr::Add,
+            ),
+            Expr::Sub(a, b) => Self::binary(
+                self.expr(a),
+                self.expr(b),
+                |x, y| Some(x.wrapping_sub(y)),
+                CExpr::Sub,
+            ),
+            Expr::Mul(a, b) => Self::binary(
+                self.expr(a),
+                self.expr(b),
+                |x, y| Some(x.wrapping_mul(y)),
+                CExpr::Mul,
+            ),
+            Expr::Div(a, b) => Self::binary(
+                self.expr(a),
+                self.expr(b),
+                |x, y| (y != 0).then(|| x.div_euclid(y)),
+                CExpr::Div,
+            ),
+            Expr::Min(a, b) => Self::binary(
+                self.expr(a),
+                self.expr(b),
+                |x, y| Some(x.min(y)),
+                CExpr::Min,
+            ),
+            Expr::Max(a, b) => Self::binary(
+                self.expr(a),
+                self.expr(b),
+                |x, y| Some(x.max(y)),
+                CExpr::Max,
+            ),
         }
     }
 
@@ -320,18 +369,21 @@ pub fn compile(stmts: &[Stmt], slots: &SlotAlloc) -> Program {
     }
 }
 
-struct Machine<'p> {
+/// The interpreter state. `STATS` selects at monomorphization time whether
+/// per-statement/per-iteration counters are maintained; the quiet variant
+/// ([`execute_quiet`]) carries no counting overhead in its hot loops.
+struct Machine<'p, 'a, const STATS: bool> {
     prog: &'p Program,
     regs: Vec<i64>,
     syms: Vec<Option<i64>>,
-    ufs: Vec<Option<Vec<i64>>>,
-    data: Vec<Option<Vec<f64>>>,
+    ufs: Vec<Option<Cow<'a, [i64]>>>,
+    data: Vec<Option<Cow<'a, [f64]>>>,
     lists: Vec<Option<OrderedList>>,
     stats: ExecStats,
     key_buf: Vec<i64>,
 }
 
-impl<'p> Machine<'p> {
+impl<'p, 'a, const STATS: bool> Machine<'p, 'a, STATS> {
     #[inline]
     fn eval(&mut self, e: &CExpr) -> Result<i64, ExecError> {
         Ok(match e {
@@ -395,7 +447,7 @@ impl<'p> Machine<'p> {
     }
 
     fn uf_slot_mut<'m>(
-        ufs: &'m mut [Option<Vec<i64>>],
+        ufs: &'m mut [Option<Cow<'a, [i64]>>],
         names: &[String],
         uf: u32,
         idx: i64,
@@ -407,11 +459,15 @@ impl<'p> Machine<'p> {
         if idx < 0 || idx as usize >= len {
             return Err(ExecError::OobUf { name: names[uf as usize].clone(), idx, len });
         }
-        Ok(&mut table[idx as usize])
+        // Clone-on-first-write: arrays bound as `Cow::Borrowed` are copied
+        // here exactly once; already-owned arrays mutate in place.
+        Ok(&mut table.to_mut()[idx as usize])
     }
 
     fn run_stmt(&mut self, s: &'p CStmt) -> Result<(), ExecError> {
-        self.stats.statements += 1;
+        if STATS {
+            self.stats.statements += 1;
+        }
         match s {
             CStmt::For { slot, lo, hi, body } => {
                 let lo = self.eval(lo)?;
@@ -419,7 +475,9 @@ impl<'p> Machine<'p> {
                 let mut v = lo;
                 while v < hi {
                     self.regs[*slot as usize] = v;
-                    self.stats.loop_iterations += 1;
+                    if STATS {
+                        self.stats.loop_iterations += 1;
+                    }
                     self.run_block(body)?;
                     v += 1;
                 }
@@ -444,13 +502,20 @@ impl<'p> Machine<'p> {
             CStmt::FindBinary { slot, lo, hi, key, target, body } => {
                 let mut lo_v = self.eval(lo)?;
                 let mut hi_v = self.eval(hi)?;
+                // The bounds are loop-invariant per entry (the bisection
+                // never writes state `lo`/`hi` could read), so the original
+                // upper bound is hoisted instead of re-evaluated after the
+                // search.
+                let hi_orig = hi_v;
                 let target_v = self.eval(target)?;
                 // Leftmost position where key(pos) >= target, by bisection;
                 // the key is monotone non-decreasing by construction.
                 while lo_v < hi_v {
                     let mid = lo_v + (hi_v - lo_v) / 2;
                     self.regs[*slot as usize] = mid;
-                    self.stats.loop_iterations += 1;
+                    if STATS {
+                        self.stats.loop_iterations += 1;
+                    }
                     let kv = self.eval(key)?;
                     if kv < target_v {
                         lo_v = mid + 1;
@@ -458,7 +523,6 @@ impl<'p> Machine<'p> {
                         hi_v = mid;
                     }
                 }
-                let hi_orig = self.eval(hi)?;
                 if lo_v < hi_orig {
                     self.regs[*slot as usize] = lo_v;
                     let kv = self.eval(key)?;
@@ -497,7 +561,7 @@ impl<'p> Machine<'p> {
                     });
                 }
                 let init = self.eval(init)?;
-                self.ufs[*uf as usize] = Some(vec![init; n as usize]);
+                self.ufs[*uf as usize] = Some(Cow::Owned(vec![init; n as usize]));
             }
             CStmt::DataAlloc { arr, size } => {
                 let n = self.eval(size)?;
@@ -507,7 +571,7 @@ impl<'p> Machine<'p> {
                         size: n,
                     });
                 }
-                self.data[*arr as usize] = Some(vec![0.0; n as usize]);
+                self.data[*arr as usize] = Some(Cow::Owned(vec![0.0; n as usize]));
             }
             CStmt::ListInsert { list, args } => {
                 let mut key = std::mem::take(&mut self.key_buf);
@@ -537,7 +601,7 @@ impl<'p> Machine<'p> {
                 for p in 0..n {
                     out.push(l.key_col(p, *dim)?);
                 }
-                self.ufs[*uf as usize] = Some(out);
+                self.ufs[*uf as usize] = Some(Cow::Owned(out));
             }
             CStmt::SymSet { sym, value } => {
                 let v = self.eval(value)?;
@@ -547,7 +611,7 @@ impl<'p> Machine<'p> {
                 let yi = self.eval(y_idx)?;
                 let ai = self.eval(a_idx)?;
                 let xi = self.eval(x_idx)?;
-                let read = |data: &[Option<Vec<f64>>],
+                let read = |data: &[Option<Cow<'a, [f64]>>],
                             names: &[String],
                             arr: u32,
                             idx: i64|
@@ -576,7 +640,7 @@ impl<'p> Machine<'p> {
                         len: y_arr.len(),
                     });
                 }
-                y_arr[yi as usize] += av * xv;
+                y_arr.to_mut()[yi as usize] += av * xv;
             }
             CStmt::Copy { dst, dst_idx, src, src_idx } => {
                 let di = self.eval(dst_idx)?;
@@ -604,7 +668,7 @@ impl<'p> Machine<'p> {
                         len: d_arr.len(),
                     });
                 }
-                d_arr[di as usize] = sv;
+                d_arr.to_mut()[di as usize] = sv;
             }
             CStmt::Nop => {}
         }
@@ -612,18 +676,11 @@ impl<'p> Machine<'p> {
     }
 }
 
-/// Executes a compiled program against an environment.
-///
-/// On success the environment reflects all writes: new index arrays,
-/// data arrays, updated symbols, and finalized lists. On error the
-/// environment still contains everything moved back (partial state), so
-/// callers can inspect it.
-///
-/// # Errors
-/// Returns an [`ExecError`] on unbound names, out-of-bounds accesses, bad
-/// allocations, or ordered-list misuse.
-pub fn execute(prog: &Program, env: &mut RtEnv) -> Result<ExecStats, ExecError> {
-    let mut m = Machine {
+fn run_machine<'a, const STATS: bool>(
+    prog: &Program,
+    env: &mut RtEnv<'a>,
+) -> Result<ExecStats, ExecError> {
+    let mut m = Machine::<'_, 'a, STATS> {
         prog,
         regs: vec![0; prog.n_slots],
         syms: prog.syms.iter().map(|n| env.syms.get(n).copied()).collect(),
@@ -656,6 +713,36 @@ pub fn execute(prog: &Program, env: &mut RtEnv) -> Result<ExecStats, ExecError> 
         }
     }
     result.map(|()| m.stats)
+}
+
+/// Executes a compiled program against an environment, counting statements
+/// and loop iterations ([`ExecStats`]).
+///
+/// On success the environment reflects all writes: new index arrays,
+/// data arrays, updated symbols, and finalized lists. On error the
+/// environment still contains everything moved back (partial state), so
+/// callers can inspect it.
+///
+/// # Errors
+/// Returns an [`ExecError`] on unbound names, out-of-bounds accesses, bad
+/// allocations, or ordered-list misuse.
+pub fn execute(prog: &Program, env: &mut RtEnv<'_>) -> Result<ExecStats, ExecError> {
+    run_machine::<true>(prog, env)
+}
+
+/// Executes a compiled program without maintaining [`ExecStats`] counters.
+///
+/// Identical semantics to [`execute`] — same writes, same errors, same
+/// partial state on failure — but the per-statement and per-iteration
+/// counter bumps are compiled out entirely, which is the right trade for
+/// release benchmarks and the engine's hot path where the counts are
+/// never read.
+///
+/// # Errors
+/// Returns an [`ExecError`] on unbound names, out-of-bounds accesses, bad
+/// allocations, or ordered-list misuse.
+pub fn execute_quiet(prog: &Program, env: &mut RtEnv<'_>) -> Result<(), ExecError> {
+    run_machine::<false>(prog, env).map(|_| ())
 }
 
 #[cfg(test)]

@@ -1,0 +1,266 @@
+//! Hand-optimized native conversion kernels.
+//!
+//! The interpreter ([`crate::interp`]) executes any synthesized plan; these
+//! kernels are fused, allocation-minimal Rust implementations of the *hot*
+//! conversion shapes — counting-sort COO→CSR/CSC, pointer-transpose
+//! CSR↔CSC, pointer-expansion CSR/CSC→COO, and permutation sorts for
+//! lexicographic / Morton reordering. They operate on raw index/value
+//! slices so the container layer (`sparse-formats`) and the registry layer
+//! (`sparse-synthesis`) can compose them without intermediate copies.
+//!
+//! Every kernel is *semantically pinned to the interpreter*: for identical
+//! valid inputs it must produce bit-identical outputs to the synthesized
+//! SPF-IR plan for the same conversion (the differential suite in
+//! `sparse-synthesis` enforces this). In particular the permutation sorts
+//! reproduce the stable first-occurrence semantics of
+//! [`crate::runtime::OrderedList`] by tie-breaking on the original
+//! position, and the Morton sort mirrors `OrderedList::finalize` exactly
+//! (same bit-width selection, same encoded-vs-comparator split).
+//!
+//! # Preconditions
+//!
+//! Kernels assume *validated* inputs (coordinates in-bounds, pointer
+//! arrays monotone — what `sparse_formats::validate` establishes and the
+//! engine requires before selecting a kernel). Out-of-range coordinates
+//! panic via slice indexing rather than corrupt memory; callers that
+//! cannot guarantee validation must not call these.
+
+use crate::morton::{bits_for_extent, morton_cmp, morton_encode};
+
+/// Counting-sort a COO triplet stream into CSR parts
+/// `(rowptr, col, val)` for an `nr`-row matrix.
+///
+/// Single pass to histogram rows, prefix sum, scatter, then a per-row sort
+/// by `(col, source position)` — skipped for rows whose columns already
+/// arrive ascending (the common row-major-sorted input), so sorted inputs
+/// convert in pure O(nnz).
+pub fn coo_to_csr_parts(
+    nr: usize,
+    row: &[i64],
+    col: &[i64],
+    val: &[f64],
+) -> (Vec<i64>, Vec<i64>, Vec<f64>) {
+    let nnz = row.len();
+    let mut rowptr = vec![0i64; nr + 1];
+    for &r in row {
+        rowptr[r as usize + 1] += 1;
+    }
+    for i in 0..nr {
+        rowptr[i + 1] += rowptr[i];
+    }
+    // Scatter source positions into row segments, preserving input order
+    // within each row (the counting sort is stable).
+    let mut next: Vec<i64> = rowptr[..nr].to_vec();
+    let mut perm = vec![0usize; nnz];
+    for (p, &r) in row.iter().enumerate() {
+        let slot = &mut next[r as usize];
+        perm[*slot as usize] = p;
+        *slot += 1;
+    }
+    // Per-row column sort; position tie-break keeps duplicate columns in
+    // input order, matching the interpreter's stable OrderedList ranks.
+    for r in 0..nr {
+        let (lo, hi) = (rowptr[r] as usize, rowptr[r + 1] as usize);
+        let seg = &mut perm[lo..hi];
+        if !seg.windows(2).all(|w| col[w[0]] <= col[w[1]]) {
+            seg.sort_unstable_by_key(|&p| (col[p], p));
+        }
+    }
+    let out_col = perm.iter().map(|&p| col[p]).collect();
+    let out_val = perm.iter().map(|&p| val[p]).collect();
+    (rowptr, out_col, out_val)
+}
+
+/// Transposes CSR parts into CSC parts `(colptr, row, val)` — or, by role
+/// symmetry, CSC parts into CSR parts.
+///
+/// The row-major scan scatters entries into column buckets in row order,
+/// so each output column's rows arrive already ascending: no secondary
+/// sort is needed, giving O(nnz + nr + nc) with perfect output order.
+pub fn csr_to_csc_parts(
+    nr: usize,
+    nc: usize,
+    rowptr: &[i64],
+    col: &[i64],
+    val: &[f64],
+) -> (Vec<i64>, Vec<i64>, Vec<f64>) {
+    let nnz = col.len();
+    let mut colptr = vec![0i64; nc + 1];
+    for &c in col {
+        colptr[c as usize + 1] += 1;
+    }
+    for j in 0..nc {
+        colptr[j + 1] += colptr[j];
+    }
+    let mut next: Vec<i64> = colptr[..nc].to_vec();
+    let mut out_row = vec![0i64; nnz];
+    let mut out_val = vec![0f64; nnz];
+    for r in 0..nr {
+        let (lo, hi) = (rowptr[r] as usize, rowptr[r + 1] as usize);
+        for p in lo..hi {
+            let slot = &mut next[col[p] as usize];
+            out_row[*slot as usize] = r as i64;
+            out_val[*slot as usize] = val[p];
+            *slot += 1;
+        }
+    }
+    (colptr, out_row, out_val)
+}
+
+/// Expands a compressed pointer array (`rowptr`/`colptr`) into the
+/// per-entry major coordinate — the only work in CSR→COO / CSC→COO since
+/// the minor coordinate and values carry over verbatim.
+pub fn expand_ptr(ptr: &[i64]) -> Vec<i64> {
+    let n = ptr.len().saturating_sub(1);
+    let nnz = ptr.last().copied().unwrap_or(0).max(0) as usize;
+    let mut out = Vec::with_capacity(nnz);
+    for i in 0..n {
+        let (lo, hi) = (ptr[i], ptr[i + 1]);
+        out.resize(out.len() + (hi - lo).max(0) as usize, i as i64);
+    }
+    out
+}
+
+/// Returns the permutation sorting entries lexicographically by
+/// `(row, col)` — the COO "sorted row-major" order. Keys are read once
+/// and the unstable sort tie-breaks on the source position, reproducing a
+/// stable sort's order without its allocation profile.
+pub fn lex_sort_perm(row: &[i64], col: &[i64]) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..row.len()).collect();
+    if perm.windows(2).all(|w| {
+        (row[w[0]], col[w[0]]) <= (row[w[1]], col[w[1]])
+    }) {
+        return perm;
+    }
+    perm.sort_unstable_by_key(|&p| (row[p], col[p], p));
+    perm
+}
+
+/// Returns the permutation sorting entries into Morton (Z-curve) order
+/// over the given coordinate columns (one slice per dimension, equal
+/// lengths).
+///
+/// Mirrors `OrderedList::finalize`'s Morton path bit-for-bit: the code
+/// width is chosen from the maximum coordinate, codes are materialized as
+/// `u128` whenever `rank * bits <= 128` (position tie-break keeps equal
+/// codes in insertion order), and wider spaces fall back to the
+/// comparator-based [`morton_cmp`] with the same tie-break.
+pub fn morton_sort_perm(dims: &[&[i64]]) -> Vec<usize> {
+    let n = dims.first().map_or(0, |d| d.len());
+    let rank = dims.len() as u32;
+    let mut perm: Vec<usize> = (0..n).collect();
+    let max = dims
+        .iter()
+        .flat_map(|d| d.iter().copied())
+        .max()
+        .unwrap_or(0)
+        .max(0);
+    let bits = bits_for_extent(max as usize + 1);
+    if rank * bits <= 128 {
+        let mut keyed: Vec<(u128, usize)> = perm
+            .iter()
+            .map(|&p| {
+                let coords: Vec<i64> = dims.iter().map(|d| d[p]).collect();
+                (morton_encode(&coords, bits), p)
+            })
+            .collect();
+        keyed.sort_unstable_by_key(|&(code, p)| (code, p));
+        for (slot, (_, p)) in perm.iter_mut().zip(keyed) {
+            *slot = p;
+        }
+    } else {
+        let key = |p: usize| -> Vec<i64> { dims.iter().map(|d| d[p]).collect() };
+        perm.sort_unstable_by(|&a, &b| {
+            morton_cmp(&key(a), &key(b)).then(a.cmp(&b))
+        });
+    }
+    perm
+}
+
+/// Applies a permutation to an index column.
+pub fn permute_i64(src: &[i64], perm: &[usize]) -> Vec<i64> {
+    perm.iter().map(|&p| src[p]).collect()
+}
+
+/// Applies a permutation to a value column.
+pub fn permute_f64(src: &[f64], perm: &[usize]) -> Vec<f64> {
+    perm.iter().map(|&p| src[p]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coo_to_csr_sorts_within_rows() {
+        // (row, col, val): shuffled, with an empty row 1.
+        let row = [2i64, 0, 2, 0, 3];
+        let col = [3i64, 1, 0, 0, 2];
+        let val = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let (rowptr, c, v) = coo_to_csr_parts(4, &row, &col, &val);
+        assert_eq!(rowptr, vec![0, 2, 2, 4, 5]);
+        assert_eq!(c, vec![0, 1, 0, 3, 2]);
+        assert_eq!(v, vec![4.0, 2.0, 3.0, 1.0, 5.0]);
+    }
+
+    #[test]
+    fn coo_to_csr_sorted_fast_path_is_identity() {
+        let row = [0i64, 0, 1, 2];
+        let col = [0i64, 2, 1, 0];
+        let val = [1.0, 2.0, 3.0, 4.0];
+        let (rowptr, c, v) = coo_to_csr_parts(3, &row, &col, &val);
+        assert_eq!(rowptr, vec![0, 2, 3, 4]);
+        assert_eq!(c, col.to_vec());
+        assert_eq!(v, val.to_vec());
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        // 3x4: entries (0,1)=1 (0,3)=2 (1,0)=3 (2,1)=4 (2,2)=5.
+        let rowptr = [0i64, 2, 3, 5];
+        let col = [1i64, 3, 0, 1, 2];
+        let val = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let (colptr, r, v) = csr_to_csc_parts(3, 4, &rowptr, &col, &val);
+        assert_eq!(colptr, vec![0, 1, 3, 4, 5]);
+        assert_eq!(r, vec![1, 0, 2, 2, 0]);
+        assert_eq!(v, vec![3.0, 1.0, 4.0, 5.0, 2.0]);
+        // Transposing back recovers the original.
+        let (rp2, c2, v2) = csr_to_csc_parts(4, 3, &colptr, &r, &v);
+        assert_eq!(rp2, rowptr.to_vec());
+        assert_eq!(c2, col.to_vec());
+        assert_eq!(v2, val.to_vec());
+    }
+
+    #[test]
+    fn expand_ptr_repeats_majors() {
+        assert_eq!(expand_ptr(&[0, 2, 2, 5]), vec![0, 0, 2, 2, 2]);
+        assert_eq!(expand_ptr(&[0]), Vec::<i64>::new());
+        assert_eq!(expand_ptr(&[]), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn lex_perm_matches_stable_sort() {
+        let row = [1i64, 0, 1, 0, 1];
+        let col = [0i64, 1, 1, 0, 0];
+        let perm = lex_sort_perm(&row, &col);
+        let mut want: Vec<usize> = (0..5).collect();
+        want.sort_by_key(|&p| (row[p], col[p]));
+        assert_eq!(perm, want);
+    }
+
+    #[test]
+    fn morton_perm_matches_comparator_sort() {
+        let i0 = [3i64, 0, 2, 1, 3, 0];
+        let i1 = [1i64, 2, 2, 0, 1, 0];
+        let perm = morton_sort_perm(&[&i0, &i1]);
+        let mut want: Vec<usize> = (0..6).collect();
+        want.sort_by(|&a, &b| morton_cmp(&[i0[a], i1[a]], &[i0[b], i1[b]]));
+        assert_eq!(perm, want);
+    }
+
+    #[test]
+    fn morton_perm_empty_and_single() {
+        assert_eq!(morton_sort_perm(&[&[], &[]]), Vec::<usize>::new());
+        assert_eq!(morton_sort_perm(&[&[7], &[3]]), vec![0]);
+    }
+}

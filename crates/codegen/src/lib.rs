@@ -54,6 +54,7 @@ pub mod ast;
 pub mod cemit;
 pub mod cruntime;
 pub mod interp;
+pub mod kernels;
 pub mod morton;
 pub mod runtime;
 pub mod scan;
@@ -63,7 +64,7 @@ pub mod unroll;
 pub use ast::{CmpOp, Cond, Expr, Slot, SlotAlloc, Stmt};
 pub use cemit::{emit_c99_block, emit_c_block, emit_c_function, Dialect, C_PRELUDE};
 pub use cruntime::C_ORDERED_LIST_RUNTIME;
-pub use interp::{compile, execute, ExecError, ExecStats, Program};
+pub use interp::{compile, execute, execute_quiet, ExecError, ExecStats, Program};
 pub use morton::{morton_cmp, morton_decode, morton_encode};
 pub use runtime::{ListError, ListOrder, OrderedList, RtEnv};
 pub use scan::{lower_set, LoweredVars, ScanError};

@@ -18,6 +18,7 @@
 //! retrieval "incurs overhead"; this implementation reproduces that cost
 //! profile with a hash-map rank index.
 
+use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -328,21 +329,28 @@ impl OrderedList {
 /// The runtime environment a generated inspector executes against:
 /// symbolic constants, integer index arrays (the uninterpreted functions),
 /// f64 data spaces, and ordered lists.
+///
+/// Index and data arrays are [`Cow`] slices so containers bind without
+/// copying: the source matrix's arrays enter as `Cow::Borrowed` in O(1),
+/// and the interpreter clones an array only on its first write
+/// (copy-on-write). Arrays the inspector allocates itself are
+/// `Cow::Owned`, so extracting a freshly produced output is an O(1) move
+/// (see [`RtEnv::take_uf`]) rather than a full clone.
 #[derive(Debug, Default)]
-pub struct RtEnv {
+pub struct RtEnv<'a> {
     /// Symbolic constants such as `NR`, `NC`, `NNZ`; inspectors may add
     /// more (e.g. `ND`) during execution.
     pub syms: BTreeMap<String, i64>,
     /// Index arrays keyed by UF name.
-    pub ufs: BTreeMap<String, Vec<i64>>,
+    pub ufs: BTreeMap<String, Cow<'a, [i64]>>,
     /// Data arrays keyed by data-space name.
-    pub data: BTreeMap<String, Vec<f64>>,
+    pub data: BTreeMap<String, Cow<'a, [f64]>>,
     /// Ordered lists keyed by name; must be declared (inserted here)
     /// before executing programs that reference them.
     pub lists: BTreeMap<String, OrderedList>,
 }
 
-impl RtEnv {
+impl<'a> RtEnv<'a> {
     /// Creates an empty environment.
     pub fn new() -> Self {
         Self::default()
@@ -354,15 +362,17 @@ impl RtEnv {
         self
     }
 
-    /// Binds an index array (builder style).
-    pub fn with_uf(mut self, name: impl Into<String>, v: Vec<i64>) -> Self {
-        self.ufs.insert(name.into(), v);
+    /// Binds an index array (builder style); accepts an owned `Vec` or a
+    /// borrowed slice (zero-copy).
+    pub fn with_uf(mut self, name: impl Into<String>, v: impl Into<Cow<'a, [i64]>>) -> Self {
+        self.ufs.insert(name.into(), v.into());
         self
     }
 
-    /// Binds a data array (builder style).
-    pub fn with_data(mut self, name: impl Into<String>, v: Vec<f64>) -> Self {
-        self.data.insert(name.into(), v);
+    /// Binds a data array (builder style); accepts an owned `Vec` or a
+    /// borrowed slice (zero-copy).
+    pub fn with_data(mut self, name: impl Into<String>, v: impl Into<Cow<'a, [f64]>>) -> Self {
+        self.data.insert(name.into(), v.into());
         self
     }
 
@@ -370,6 +380,19 @@ impl RtEnv {
     pub fn with_list(mut self, name: impl Into<String>, l: OrderedList) -> Self {
         self.lists.insert(name.into(), l);
         self
+    }
+
+    /// Removes an index array and returns it owned — O(1) for arrays the
+    /// inspector produced (`Cow::Owned`), a clone only for arrays still
+    /// borrowed from the caller.
+    pub fn take_uf(&mut self, name: &str) -> Option<Vec<i64>> {
+        self.ufs.remove(name).map(Cow::into_owned)
+    }
+
+    /// Removes a data array and returns it owned; same cost profile as
+    /// [`RtEnv::take_uf`].
+    pub fn take_data(&mut self, name: &str) -> Option<Vec<f64>> {
+        self.data.remove(name).map(Cow::into_owned)
     }
 }
 

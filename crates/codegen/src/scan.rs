@@ -338,7 +338,7 @@ mod tests {
     /// Lower and execute, recording visited tuples into `visit` arrays.
     fn run_and_collect(
         src: &str,
-        env: &mut RtEnv,
+        env: &mut RtEnv<'_>,
         record: usize,
     ) -> Vec<Vec<i64>> {
         let mut set = parse_set(src).unwrap();
@@ -363,9 +363,9 @@ mod tests {
         })
         .unwrap();
         let cap = 4096;
-        env.ufs.insert("cnt".into(), vec![0]);
+        env.ufs.insert("cnt".into(), vec![0].into());
         for p in 0..record {
-            env.ufs.insert(format!("visit{p}"), vec![-1; cap]);
+            env.ufs.insert(format!("visit{p}"), vec![-1; cap].into());
         }
         let prog = compile(&stmts, &slots);
         execute(&prog, env).unwrap();

@@ -143,11 +143,11 @@ mod tests {
         .unwrap()
     }
 
-    fn run_spmv(comp: &Computation, env: &mut RtEnv, x: &[f64]) -> Vec<f64> {
-        env.data.insert(names::X.into(), x.to_vec());
+    fn run_spmv(comp: &Computation, env: &mut RtEnv<'_>, x: &[f64]) -> Vec<f64> {
+        env.data.insert(names::X.into(), x.to_vec().into());
         let compiled = comp.lower().unwrap();
         compiled.execute(env, &ComparatorRegistry::new()).unwrap();
-        env.data[names::Y].clone()
+        env.data[names::Y].to_vec()
     }
 
     #[test]
@@ -205,7 +205,7 @@ mod tests {
         let comp = ttv_mode2(&descriptors::scoo3()).unwrap();
         let mut env = RtEnv::new();
         crate::run::bind_coo3(&mut env, &descriptors::scoo3(), &t).unwrap();
-        env.data.insert(names::X.into(), vec![1.0, 10.0, 100.0, 1000.0]);
+        env.data.insert(names::X.into(), vec![1.0, 10.0, 100.0, 1000.0].into());
         let compiled = comp.lower().unwrap();
         compiled.execute(&mut env, &ComparatorRegistry::new()).unwrap();
         let want = t.ttv_mode2(&[1.0, 10.0, 100.0, 1000.0]);

@@ -43,11 +43,13 @@
 
 pub mod analysis;
 pub mod executor;
+pub mod kernels;
 pub mod run;
 pub mod synthesize;
 
 pub use analysis::{analyze_destination, AnalysisError, DstAnalysis, DstVarKind};
 pub use executor::{spmv, ttv_mode2};
+pub use kernels::{KernelRegistry, MatrixKernelFn, TensorKernelFn};
 pub use run::{
     bind_matrix, bind_tensor, extract_matrix, extract_tensor, Conversion, RunError,
 };

@@ -3,6 +3,7 @@
 //! names, running the compiled inspector, and extracting the destination
 //! container.
 
+use std::borrow::Cow;
 use std::fmt;
 
 use sparse_formats::{
@@ -122,10 +123,16 @@ pub struct Conversion {
     pub synth: SynthesizedConversion,
     compiled: Compiled,
     comparators: ComparatorRegistry,
+    kernel: Option<crate::kernels::MatrixKernelFn>,
+    tensor_kernel: Option<crate::kernels::TensorKernelFn>,
 }
 
 impl Conversion {
     /// Synthesizes and compiles the conversion from `src` to `dst`.
+    ///
+    /// When the [`crate::kernels::KernelRegistry`] holds a native kernel
+    /// for this exact `(src, dst)` fingerprint pair it is resolved here
+    /// too; callers opt into it via [`Conversion::run_matrix_kernel`].
     ///
     /// # Errors
     /// Propagates synthesis and lowering failures.
@@ -136,7 +143,46 @@ impl Conversion {
     ) -> Result<Self, RunError> {
         let synth = synthesize(src, dst, options)?;
         let compiled = synth.computation.lower().map_err(SynthesisError::Lower)?;
-        Ok(Conversion { synth, compiled, comparators: ComparatorRegistry::new() })
+        let reg = crate::kernels::KernelRegistry::global();
+        let (src_fp, dst_fp) = (src.fingerprint(), dst.fingerprint());
+        Ok(Conversion {
+            synth,
+            compiled,
+            comparators: ComparatorRegistry::new(),
+            kernel: reg.matrix_kernel(src_fp, dst_fp),
+            tensor_kernel: reg.tensor_kernel(src_fp, dst_fp),
+        })
+    }
+
+    /// True when a native kernel is registered for this conversion's
+    /// fingerprint pair (rank-2 or order-3).
+    pub fn has_kernel(&self) -> bool {
+        self.kernel.is_some() || self.tensor_kernel.is_some()
+    }
+
+    /// Runs the native kernel for this conversion, or `None` when no
+    /// kernel is registered for the fingerprint pair.
+    ///
+    /// The input must already satisfy the source descriptor's validation
+    /// obligations — kernels assume them the same way the interpreter's
+    /// verified plan does. An `Err` from the kernel (including its own
+    /// decline on inputs whose semantics it cannot reproduce, e.g.
+    /// duplicate coordinates) means the caller should fall back to
+    /// [`Conversion::run_matrix_quiet`]; it never means the conversion
+    /// itself is impossible.
+    pub fn run_matrix_kernel<'a>(
+        &self,
+        m: impl Into<MatrixRef<'a>>,
+    ) -> Option<Result<AnyMatrix, RunError>> {
+        self.kernel.map(|k| k(m.into()))
+    }
+
+    /// Order-3 analogue of [`Conversion::run_matrix_kernel`].
+    pub fn run_tensor_kernel<'a>(
+        &self,
+        t: impl Into<TensorRef<'a>>,
+    ) -> Option<Result<AnyTensor, RunError>> {
+        self.tensor_kernel.map(|k| k(t.into()))
     }
 
     /// Registers a user-defined comparator for `ListOrderSpec::Custom`
@@ -173,16 +219,30 @@ impl Conversion {
     ///
     /// # Errors
     /// Propagates interpreter errors.
-    pub fn execute_env(&self, env: &mut RtEnv) -> Result<ExecStats, RunError> {
+    pub fn execute_env(&self, env: &mut RtEnv<'_>) -> Result<ExecStats, RunError> {
         Ok(self.compiled.execute(env, &self.comparators)?)
     }
 
-    /// Binds a COO matrix as the conversion source.
+    /// [`Conversion::execute_env`] with [`ExecStats`] counting compiled
+    /// out — the hot-path variant.
+    ///
+    /// # Errors
+    /// Propagates interpreter errors.
+    pub fn execute_env_quiet(&self, env: &mut RtEnv<'_>) -> Result<(), RunError> {
+        Ok(self.compiled.execute_quiet(env, &self.comparators)?)
+    }
+
+    /// Binds a COO matrix as the conversion source (zero-copy: the
+    /// matrix's arrays enter the environment borrowed).
     ///
     /// # Errors
     /// Returns [`RunError::Descriptor`] if the source descriptor lacks
     /// the coordinate UFs a COO binding needs.
-    pub fn bind_coo_source(&self, env: &mut RtEnv, m: &CooMatrix) -> Result<(), RunError> {
+    pub fn bind_coo_source<'a>(
+        &self,
+        env: &mut RtEnv<'a>,
+        m: &'a CooMatrix,
+    ) -> Result<(), RunError> {
         bind_coo(env, &self.synth.src, m)
     }
 
@@ -231,8 +291,26 @@ impl Conversion {
         let mut env = RtEnv::new();
         bind_matrix(&mut env, &self.synth.src, m)?;
         let stats = self.execute_env(&mut env)?;
-        let out = extract_matrix(&env, &self.synth.dst, nr, nc)?;
+        let out = extract_matrix(&mut env, &self.synth.dst, nr, nc)?;
         Ok((out, stats))
+    }
+
+    /// [`Conversion::run_matrix_unchecked`] with interpreter statistics
+    /// compiled out: the engine's interpreter hot path. Same conversion
+    /// semantics; only the [`ExecStats`] counters are dropped.
+    ///
+    /// # Errors
+    /// Same contract as [`Conversion::run_matrix_unchecked`].
+    pub fn run_matrix_quiet<'a>(
+        &self,
+        m: impl Into<MatrixRef<'a>>,
+    ) -> Result<AnyMatrix, RunError> {
+        let m = m.into();
+        let (nr, nc) = m.dims();
+        let mut env = RtEnv::new();
+        bind_matrix(&mut env, &self.synth.src, m)?;
+        self.execute_env_quiet(&mut env)?;
+        extract_matrix(&mut env, &self.synth.dst, nr, nc)
     }
 
     /// Converts any order-3 tensor; the tensor analogue of
@@ -264,8 +342,24 @@ impl Conversion {
         let mut env = RtEnv::new();
         bind_tensor(&mut env, &self.synth.src, t)?;
         let stats = self.execute_env(&mut env)?;
-        let out = extract_tensor(&env, &self.synth.dst, dims)?;
+        let out = extract_tensor(&mut env, &self.synth.dst, dims)?;
         Ok((out, stats))
+    }
+
+    /// Order-3 analogue of [`Conversion::run_matrix_quiet`].
+    ///
+    /// # Errors
+    /// Same contract as [`Conversion::run_tensor_unchecked`].
+    pub fn run_tensor_quiet<'a>(
+        &self,
+        t: impl Into<TensorRef<'a>>,
+    ) -> Result<AnyTensor, RunError> {
+        let t = t.into();
+        let dims = t.dims();
+        let mut env = RtEnv::new();
+        bind_tensor(&mut env, &self.synth.src, t)?;
+        self.execute_env_quiet(&mut env)?;
+        extract_tensor(&mut env, &self.synth.dst, dims)
     }
 
     /// Converts a COO matrix to CSR (destination descriptor must be
@@ -427,12 +521,16 @@ fn expect_csc(out: AnyMatrix) -> Result<CscMatrix, RunError> {
 /// accept either a bare [`CooMatrix`] or a [`MortonCooMatrix`] — the
 /// storage is identical; ordering is the descriptor's claim.
 ///
+/// Binding is zero-copy: every index/data array enters the environment as
+/// a borrowed `Cow` slice, so the cost is O(1) per array regardless of
+/// `nnz`; the interpreter clones an array only if the plan writes to it.
+///
 /// # Errors
 /// Returns [`RunError::Unsupported`] on a kind/container mismatch.
-pub fn bind_matrix(
-    env: &mut RtEnv,
+pub fn bind_matrix<'a>(
+    env: &mut RtEnv<'a>,
     desc: &FormatDescriptor,
-    m: MatrixRef<'_>,
+    m: MatrixRef<'a>,
 ) -> Result<(), RunError> {
     let kind = desc.kind();
     match (kind, m) {
@@ -465,10 +563,10 @@ pub fn bind_matrix(
 ///
 /// # Errors
 /// Returns [`RunError::Unsupported`] on a kind/container mismatch.
-pub fn bind_tensor(
-    env: &mut RtEnv,
+pub fn bind_tensor<'a>(
+    env: &mut RtEnv<'a>,
     desc: &FormatDescriptor,
-    t: TensorRef<'_>,
+    t: TensorRef<'a>,
 ) -> Result<(), RunError> {
     let kind = desc.kind();
     match (kind, t) {
@@ -498,7 +596,7 @@ pub fn bind_tensor(
 /// with no extractor (ELL destinations are outside the synthesizable
 /// fragment: the padded width `ELLW` is not produced by the inspector).
 pub fn extract_matrix(
-    env: &RtEnv,
+    env: &mut RtEnv<'_>,
     desc: &FormatDescriptor,
     nr: usize,
     nc: usize,
@@ -528,7 +626,7 @@ pub fn extract_matrix(
 /// Fails on missing outputs, invariant violations, or an unsupported
 /// destination kind.
 pub fn extract_tensor(
-    env: &RtEnv,
+    env: &mut RtEnv<'_>,
     desc: &FormatDescriptor,
     dims: (usize, usize, usize),
 ) -> Result<AnyTensor, RunError> {
@@ -545,7 +643,7 @@ pub fn extract_tensor(
     }
 }
 
-fn dims_to_env(env: &mut RtEnv, desc: &FormatDescriptor, dims: &[usize], nnz: usize) {
+fn dims_to_env(env: &mut RtEnv<'_>, desc: &FormatDescriptor, dims: &[usize], nnz: usize) {
     for (sym, &d) in desc.dim_syms.iter().zip(dims) {
         env.syms.insert(sym.clone(), d as i64);
     }
@@ -602,17 +700,17 @@ fn extra_sym(desc: &FormatDescriptor, i: usize, role: &str) -> Result<String, Ru
 /// # Errors
 /// Returns [`RunError::Descriptor`] if the descriptor lacks row/column
 /// coordinate UFs.
-pub fn bind_coo(
-    env: &mut RtEnv,
+pub fn bind_coo<'a>(
+    env: &mut RtEnv<'a>,
     desc: &FormatDescriptor,
-    m: &CooMatrix,
+    m: &'a CooMatrix,
 ) -> Result<(), RunError> {
     dims_to_env(env, desc, &[m.nr, m.nc], m.nnz());
     let row = coord_uf(desc, 0, "row UF")?;
     let col = coord_uf(desc, 1, "column UF")?;
-    env.ufs.insert(row, m.row.clone());
-    env.ufs.insert(col, m.col.clone());
-    env.data.insert(desc.data_name.clone(), m.val.clone());
+    env.ufs.insert(row, Cow::Borrowed(&m.row[..]));
+    env.ufs.insert(col, Cow::Borrowed(&m.col[..]));
+    env.data.insert(desc.data_name.clone(), Cow::Borrowed(&m.val[..]));
     Ok(())
 }
 
@@ -621,19 +719,19 @@ pub fn bind_coo(
 /// # Errors
 /// Returns [`RunError::Descriptor`] if any of the three mode UFs is
 /// absent.
-pub fn bind_coo3(
-    env: &mut RtEnv,
+pub fn bind_coo3<'a>(
+    env: &mut RtEnv<'a>,
     desc: &FormatDescriptor,
-    t: &Coo3Tensor,
+    t: &'a Coo3Tensor,
 ) -> Result<(), RunError> {
     dims_to_env(env, desc, &[t.nr, t.nc, t.nz], t.nnz());
     let u0 = coord_uf(desc, 0, "mode-0 UF")?;
     let u1 = coord_uf(desc, 1, "mode-1 UF")?;
     let u2 = coord_uf(desc, 2, "mode-2 UF")?;
-    env.ufs.insert(u0, t.i0.clone());
-    env.ufs.insert(u1, t.i1.clone());
-    env.ufs.insert(u2, t.i2.clone());
-    env.data.insert(desc.data_name.clone(), t.val.clone());
+    env.ufs.insert(u0, Cow::Borrowed(&t.i0[..]));
+    env.ufs.insert(u1, Cow::Borrowed(&t.i1[..]));
+    env.ufs.insert(u2, Cow::Borrowed(&t.i2[..]));
+    env.data.insert(desc.data_name.clone(), Cow::Borrowed(&t.val[..]));
     Ok(())
 }
 
@@ -641,16 +739,16 @@ pub fn bind_coo3(
 ///
 /// # Errors
 /// Returns [`RunError::Descriptor`] without a pointer or column UF.
-pub fn bind_csr(
-    env: &mut RtEnv,
+pub fn bind_csr<'a>(
+    env: &mut RtEnv<'a>,
     desc: &FormatDescriptor,
-    m: &CsrMatrix,
+    m: &'a CsrMatrix,
 ) -> Result<(), RunError> {
     dims_to_env(env, desc, &[m.nr, m.nc], m.nnz());
-    env.ufs.insert(pointer_uf(desc)?, m.rowptr.clone());
+    env.ufs.insert(pointer_uf(desc)?, Cow::Borrowed(&m.rowptr[..]));
     let col = coord_uf(desc, 1, "column UF")?;
-    env.ufs.insert(col, m.col.clone());
-    env.data.insert(desc.data_name.clone(), m.val.clone());
+    env.ufs.insert(col, Cow::Borrowed(&m.col[..]));
+    env.data.insert(desc.data_name.clone(), Cow::Borrowed(&m.val[..]));
     Ok(())
 }
 
@@ -660,17 +758,17 @@ pub fn bind_csr(
 ///
 /// # Errors
 /// Returns [`RunError::Descriptor`] without a column UF or width symbol.
-pub fn bind_ell(
-    env: &mut RtEnv,
+pub fn bind_ell<'a>(
+    env: &mut RtEnv<'a>,
     desc: &FormatDescriptor,
-    m: &EllMatrix,
+    m: &'a EllMatrix,
 ) -> Result<(), RunError> {
     // stored_nnz (not to_coo) so a corrupt container cannot index
     // out of bounds before the interpreter's own bounds checks run.
     dims_to_env(env, desc, &[m.nr, m.nc], m.stored_nnz());
     env.syms.insert(extra_sym(desc, 0, "padded width")?, m.width as i64);
-    env.ufs.insert(sole_uf(desc, "column slot")?, m.col.clone());
-    env.data.insert(desc.data_name.clone(), m.data.clone());
+    env.ufs.insert(sole_uf(desc, "column slot")?, Cow::Borrowed(&m.col[..]));
+    env.data.insert(desc.data_name.clone(), Cow::Borrowed(&m.data[..]));
     Ok(())
 }
 
@@ -680,17 +778,17 @@ pub fn bind_ell(
 /// # Errors
 /// Returns [`RunError::Descriptor`] without an offset UF or diagonal
 /// count symbol.
-pub fn bind_dia(
-    env: &mut RtEnv,
+pub fn bind_dia<'a>(
+    env: &mut RtEnv<'a>,
     desc: &FormatDescriptor,
-    m: &DiaMatrix,
+    m: &'a DiaMatrix,
 ) -> Result<(), RunError> {
     // stored_nnz (not to_coo) so a corrupt container cannot index
     // out of bounds before the interpreter's own bounds checks run.
     dims_to_env(env, desc, &[m.nr, m.nc], m.stored_nnz());
     env.syms.insert(extra_sym(desc, 0, "diagonal count")?, m.nd() as i64);
-    env.ufs.insert(sole_uf(desc, "offset")?, m.off.clone());
-    env.data.insert(desc.data_name.clone(), m.data.clone());
+    env.ufs.insert(sole_uf(desc, "offset")?, Cow::Borrowed(&m.off[..]));
+    env.data.insert(desc.data_name.clone(), Cow::Borrowed(&m.data[..]));
     Ok(())
 }
 
@@ -698,30 +796,28 @@ pub fn bind_dia(
 ///
 /// # Errors
 /// Returns [`RunError::Descriptor`] without a pointer or row UF.
-pub fn bind_csc(
-    env: &mut RtEnv,
+pub fn bind_csc<'a>(
+    env: &mut RtEnv<'a>,
     desc: &FormatDescriptor,
-    m: &CscMatrix,
+    m: &'a CscMatrix,
 ) -> Result<(), RunError> {
     dims_to_env(env, desc, &[m.nr, m.nc], m.nnz());
-    env.ufs.insert(pointer_uf(desc)?, m.colptr.clone());
+    env.ufs.insert(pointer_uf(desc)?, Cow::Borrowed(&m.colptr[..]));
     let row = coord_uf(desc, 0, "row UF")?;
-    env.ufs.insert(row, m.row.clone());
-    env.data.insert(desc.data_name.clone(), m.val.clone());
+    env.ufs.insert(row, Cow::Borrowed(&m.row[..]));
+    env.data.insert(desc.data_name.clone(), Cow::Borrowed(&m.val[..]));
     Ok(())
 }
 
-fn take_uf(env: &RtEnv, name: &str) -> Result<Vec<i64>, RunError> {
-    env.ufs
-        .get(name)
-        .cloned()
+// Extraction removes the array from the environment: inspector-produced
+// outputs are `Cow::Owned`, making this an O(1) move rather than a clone.
+fn take_uf(env: &mut RtEnv<'_>, name: &str) -> Result<Vec<i64>, RunError> {
+    env.take_uf(name)
         .ok_or_else(|| RunError::MissingOutput(name.to_string()))
 }
 
-fn take_data(env: &RtEnv, name: &str) -> Result<Vec<f64>, RunError> {
-    env.data
-        .get(name)
-        .cloned()
+fn take_data(env: &mut RtEnv<'_>, name: &str) -> Result<Vec<f64>, RunError> {
+    env.take_data(name)
         .ok_or_else(|| RunError::MissingOutput(name.to_string()))
 }
 
@@ -730,7 +826,7 @@ fn take_data(env: &RtEnv, name: &str) -> Result<Vec<f64>, RunError> {
 /// # Errors
 /// Fails on missing outputs or invariant violations.
 pub fn extract_csr(
-    env: &RtEnv,
+    env: &mut RtEnv<'_>,
     desc: &FormatDescriptor,
     nr: usize,
     nc: usize,
@@ -746,7 +842,7 @@ pub fn extract_csr(
 /// # Errors
 /// Fails on missing outputs or invariant violations.
 pub fn extract_csc(
-    env: &RtEnv,
+    env: &mut RtEnv<'_>,
     desc: &FormatDescriptor,
     nr: usize,
     nc: usize,
@@ -762,7 +858,7 @@ pub fn extract_csc(
 /// # Errors
 /// Fails on missing outputs or invariant violations.
 pub fn extract_coo(
-    env: &RtEnv,
+    env: &mut RtEnv<'_>,
     desc: &FormatDescriptor,
     nr: usize,
     nc: usize,
@@ -778,7 +874,7 @@ pub fn extract_coo(
 /// # Errors
 /// Fails on missing outputs or invariant violations.
 pub fn extract_coo3(
-    env: &RtEnv,
+    env: &mut RtEnv<'_>,
     desc: &FormatDescriptor,
     dims: (usize, usize, usize),
 ) -> Result<Coo3Tensor, RunError> {
@@ -794,7 +890,7 @@ pub fn extract_coo3(
 /// # Errors
 /// Fails on missing outputs or invariant violations.
 pub fn extract_dia(
-    env: &RtEnv,
+    env: &mut RtEnv<'_>,
     desc: &FormatDescriptor,
     nr: usize,
     nc: usize,

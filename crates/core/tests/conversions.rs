@@ -232,7 +232,7 @@ fn mcoo_to_csr_round_trips() {
     sparse_synthesis::run::bind_coo(&mut env, &conv.synth.src, &m.coo).unwrap();
     conv.execute_env(&mut env).unwrap();
     let got =
-        sparse_synthesis::run::extract_csr(&env, &conv.synth.dst, coo.nr, coo.nc).unwrap();
+        sparse_synthesis::run::extract_csr(&mut env, &conv.synth.dst, coo.nr, coo.nc).unwrap();
     assert_eq!(got, CsrMatrix::from_coo(&coo));
 }
 

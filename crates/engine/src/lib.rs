@@ -25,9 +25,18 @@
 //!   verifier at synthesis time: plans with error-severity findings are
 //!   refused (and never cached), and batch fan-out is gated on the
 //!   verifier's dependence verdict.
+//! * **Native kernel backend** — under [`Backend::Auto`] (the default
+//!   policy), conversions whose plan is *statically verified* and whose
+//!   inputs are *validated* may be served by a fused hand-optimized
+//!   kernel from the [`sparse_synthesis::KernelRegistry`] instead of the
+//!   SPF-IR interpreter, keyed by the pair's structural fingerprints.
+//!   Kernels are bit-identical to the interpreter (differential-tested);
+//!   any miss, decline, or contained kernel panic falls back to the
+//!   interpreter transparently — fallback is never an error.
 //! * **Observability** — [`Engine::stats`] snapshots hit/miss/eviction
-//!   counters, conversion and nnz totals, verification outcomes, and
-//!   cumulative synthesis vs execution time.
+//!   counters, conversion and nnz totals, kernel hits vs interpreter
+//!   fallbacks, verification outcomes, and cumulative synthesis vs
+//!   execution vs kernel time.
 //!
 //! ```
 //! use sparse_engine::Engine;
@@ -126,6 +135,26 @@ impl From<RunError> for EngineError {
     }
 }
 
+/// Which execution backend the engine may use for a conversion.
+///
+/// The selection rule under [`Backend::Auto`] is: structural fingerprint
+/// match in the [`sparse_synthesis::KernelRegistry`] **and** the plan
+/// carries a clean static-verification report **and** input validation is
+/// on — then the native kernel runs; anything else executes on the SPF-IR
+/// interpreter. Falling back is never an error, and a kernel that
+/// declines an input (or panics) falls back transparently too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Prefer a registered native kernel when the plan is verified and
+    /// inputs are validated; interpret otherwise (the default).
+    #[default]
+    Auto,
+    /// Always execute on the SPF-IR interpreter, even when a kernel is
+    /// registered for the pair. Useful for differential testing and for
+    /// benchmarking the interpreter itself.
+    InterpreterOnly,
+}
+
 /// Engine construction knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
@@ -163,6 +192,11 @@ pub struct EngineConfig {
     /// [`RunError::DeadlineExceeded`]; items already executing run to
     /// completion.
     pub batch_deadline: Option<Duration>,
+    /// Execution backend policy (default [`Backend::Auto`]). Kernels only
+    /// ever run behind validated inputs *and* verified plans, so engines
+    /// with `verify_plans: false` (the default) or `validate_inputs:
+    /// false` behave identically under either variant.
+    pub backend: Backend,
 }
 
 impl Default for EngineConfig {
@@ -175,6 +209,7 @@ impl Default for EngineConfig {
             validate_inputs: true,
             memory_budget: None,
             batch_deadline: None,
+            backend: Backend::Auto,
         }
     }
 }
@@ -378,12 +413,25 @@ impl Engine {
             }
         }
         let nnz = input.nnz();
+        if self.kernel_eligible(&plan) {
+            let t0 = Instant::now();
+            let hit = catch_unwind(AssertUnwindSafe(|| plan.run_tensor_kernel(input.as_ref())));
+            if let Ok(Some(Ok(out))) = hit {
+                StatsInner::add(&self.stats.kernel_nanos, t0.elapsed().as_nanos() as u64);
+                StatsInner::add(&self.stats.kernels_hit, 1);
+                StatsInner::add(&self.stats.conversions, 1);
+                StatsInner::add(&self.stats.nnz_moved, nnz as u64);
+                return Ok(out);
+            }
+            // Declined, missing, or panicked: the interpreter is the
+            // answer, never an error.
+        }
         let t0 = Instant::now();
-        let out = catch_unwind(AssertUnwindSafe(|| {
-            plan.run_tensor_unchecked(input.as_ref()).map(|(out, _)| out)
-        }));
+        let out =
+            catch_unwind(AssertUnwindSafe(|| plan.run_tensor_quiet(input.as_ref())));
         StatsInner::add(&self.stats.exec_nanos, t0.elapsed().as_nanos() as u64);
         StatsInner::add(&self.stats.conversions, 1);
+        StatsInner::add(&self.stats.interp_fallbacks, 1);
         match out {
             Ok(Ok(out)) => {
                 StatsInner::add(&self.stats.nnz_moved, nnz as u64);
@@ -546,12 +594,25 @@ impl Engine {
             }
         }
         let nnz = input.nnz();
+        if self.kernel_eligible(plan) {
+            let t0 = Instant::now();
+            let hit = catch_unwind(AssertUnwindSafe(|| plan.run_matrix_kernel(input.as_ref())));
+            if let Ok(Some(Ok(out))) = hit {
+                StatsInner::add(&self.stats.kernel_nanos, t0.elapsed().as_nanos() as u64);
+                StatsInner::add(&self.stats.kernels_hit, 1);
+                StatsInner::add(&self.stats.conversions, 1);
+                StatsInner::add(&self.stats.nnz_moved, nnz as u64);
+                return Ok(out);
+            }
+            // Declined, missing, or panicked: fall through to the
+            // interpreter — fallback is never an error.
+        }
         let t0 = Instant::now();
-        let out = catch_unwind(AssertUnwindSafe(|| {
-            plan.run_matrix_unchecked(input.as_ref()).map(|(out, _)| out)
-        }));
+        let out =
+            catch_unwind(AssertUnwindSafe(|| plan.run_matrix_quiet(input.as_ref())));
         StatsInner::add(&self.stats.exec_nanos, t0.elapsed().as_nanos() as u64);
         StatsInner::add(&self.stats.conversions, 1);
+        StatsInner::add(&self.stats.interp_fallbacks, 1);
         match out {
             Ok(Ok(out)) => {
                 StatsInner::add(&self.stats.nnz_moved, nnz as u64);
@@ -563,6 +624,18 @@ impl Engine {
                 Err(EngineError::Panicked(panic_message(&*payload)))
             }
         }
+    }
+
+    /// The kernel-backend gate: a native kernel may serve a conversion
+    /// only when the policy allows it ([`Backend::Auto`]), the inputs
+    /// have passed source-descriptor validation, the plan carries a
+    /// clean static-verification report, and a kernel is registered for
+    /// the pair's structural fingerprints. Everything else interprets.
+    fn kernel_eligible(&self, plan: &Plan) -> bool {
+        self.config.backend == Backend::Auto
+            && self.config.validate_inputs
+            && plan.verification.is_some()
+            && plan.has_kernel()
     }
 }
 

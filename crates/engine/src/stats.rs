@@ -15,9 +15,12 @@ pub(crate) struct StatsInner {
     pub parallel_plans: AtomicU64,
     pub conversions: AtomicU64,
     pub nnz_moved: AtomicU64,
+    pub kernels_hit: AtomicU64,
+    pub interp_fallbacks: AtomicU64,
     pub synth_nanos: AtomicU64,
     pub verify_nanos: AtomicU64,
     pub exec_nanos: AtomicU64,
+    pub kernel_nanos: AtomicU64,
     pub inputs_rejected: AtomicU64,
     pub items_failed: AtomicU64,
     pub panics_caught: AtomicU64,
@@ -46,9 +49,12 @@ impl StatsInner {
             parallel_plans: self.parallel_plans.load(Ordering::Relaxed),
             conversions: self.conversions.load(Ordering::Relaxed),
             nnz_moved: self.nnz_moved.load(Ordering::Relaxed),
+            kernels_hit: self.kernels_hit.load(Ordering::Relaxed),
+            interp_fallbacks: self.interp_fallbacks.load(Ordering::Relaxed),
             synth_time: Duration::from_nanos(self.synth_nanos.load(Ordering::Relaxed)),
             verify_time: Duration::from_nanos(self.verify_nanos.load(Ordering::Relaxed)),
             exec_time: Duration::from_nanos(self.exec_nanos.load(Ordering::Relaxed)),
+            kernel_time: Duration::from_nanos(self.kernel_nanos.load(Ordering::Relaxed)),
             inputs_rejected: self.inputs_rejected.load(Ordering::Relaxed),
             items_failed: self.items_failed.load(Ordering::Relaxed),
             panics_caught: self.panics_caught.load(Ordering::Relaxed),
@@ -91,13 +97,28 @@ pub struct EngineStats {
     /// Total stored entries moved across all conversions (input nnz,
     /// padding excluded).
     pub nnz_moved: u64,
+    /// Conversions served by a native fused kernel (see
+    /// [`crate::Backend`]). Every conversion is either a kernel hit or an
+    /// interpreter execution: `kernels_hit + interp_fallbacks ==
+    /// conversions` always holds.
+    pub kernels_hit: u64,
+    /// Conversions executed by the SPF-IR interpreter — because no kernel
+    /// is registered for the pair, the plan was not verified, the backend
+    /// is [`crate::Backend::InterpreterOnly`], or a kernel declined the
+    /// input. Falling back is never an error.
+    pub interp_fallbacks: u64,
     /// Cumulative wall time spent in synthesis + lowering.
     pub synth_time: Duration,
     /// Cumulative wall time spent in static plan verification.
     pub verify_time: Duration,
     /// Cumulative wall time spent executing inspectors (summed across
     /// batch workers, so it can exceed wall-clock under parallelism).
+    /// Kernel executions are counted separately in `kernel_time`.
     pub exec_time: Duration,
+    /// Cumulative wall time spent in native kernels (successful hits
+    /// only; a declined kernel's probe time folds into the interpreter's
+    /// `exec_time`).
+    pub kernel_time: Duration,
     /// Inputs refused *before* execution: validation failures
     /// (`RunError::InvalidInput`) plus admission-control refusals
     /// (`RunError::ResourceExhausted`). Refused inputs do not count as

@@ -237,3 +237,57 @@ fn stats_stay_exact_under_concurrent_corrupted_batches() {
     assert_eq!(stats.nnz_moved, stats.conversions * good.nnz() as u64);
     assert_eq!(stats.plans_synthesized, 1, "every batch shares one cached plan");
 }
+
+#[test]
+fn corruption_sweep_stays_typed_with_kernel_backend_enabled() {
+    // The native kernel backend only ever runs behind validated inputs
+    // and verified plans, so enabling it must change nothing about the
+    // fault-injection contract: every corruption class still surfaces as
+    // a typed validation error (kernels never see corrupt data), clean
+    // inputs still convert bit-exactly, and the backend accounting
+    // balances.
+    for (label, input, src, dst) in sources() {
+        let engine = Engine::with_config(EngineConfig {
+            verify_plans: true,
+            ..Default::default()
+        });
+        let oracle = match engine.convert(&src, &dst, &input) {
+            Ok(out) => out,
+            // Pairs the static verifier refuses never reach execution;
+            // the kernel-backend contract is vacuous for them.
+            Err(EngineError::Plan(_)) => continue,
+            Err(other) => panic!("{label}: clean input failed: {other}"),
+        };
+        let mut rejected = 0u64;
+        for class in Corruption::ALL {
+            let Some(mutant) = corrupt_matrix(&input, class) else { continue };
+            match engine.convert(&src, &dst, &mutant) {
+                Ok(out) if class.is_benign() => {
+                    assert_eq!(out.nnz(), 0, "{label}/{class}: empty input converts empty");
+                }
+                Ok(_) => panic!("{label}/{class}: corrupted input was accepted"),
+                Err(EngineError::Run(RunError::InvalidInput { .. })) => rejected += 1,
+                Err(other) => panic!("{label}/{class}: expected InvalidInput, got: {other}"),
+            }
+        }
+        assert!(rejected >= 6, "{label}: expected at least 6 malicious classes");
+        assert_eq!(engine.convert(&src, &dst, &input).unwrap(), oracle, "{label}");
+        let stats = engine.stats();
+        assert_eq!(stats.panics_caught, 0, "{label}: zero panics allowed");
+        assert_eq!(
+            stats.kernels_hit + stats.interp_fallbacks,
+            stats.conversions,
+            "{label}: backend accounting must balance"
+        );
+        let kernel_backed =
+            engine.plan(&src, &dst).map(|p| p.has_kernel()).unwrap_or(false);
+        if kernel_backed {
+            assert!(
+                stats.kernels_hit > 0,
+                "{label}: the kernel backend must actually engage on this pair"
+            );
+        } else {
+            assert_eq!(stats.kernels_hit, 0, "{label}: no kernel registered");
+        }
+    }
+}

@@ -72,12 +72,16 @@ impl CooMatrix {
             .all(|((i1, j1), (i2, j2))| (i1, j1) <= (i2, j2))
     }
 
-    /// Sorts nonzeros lexicographically row first (stable).
+    /// Sorts nonzeros lexicographically row first (equivalent to a
+    /// stable sort: ties are broken by original position).
     pub fn sort_row_major(&mut self) {
-        let mut idx: Vec<usize> = (0..self.nnz()).collect();
-        idx.sort_by(|&a, &b| {
-            (self.row[a], self.col[a]).cmp(&(self.row[b], self.col[b]))
-        });
+        // Precompute the keys once so the sort's comparisons are
+        // contiguous tuple compares rather than gathers through `idx`.
+        let mut keyed: Vec<(i64, i64, usize)> = (0..self.nnz())
+            .map(|p| (self.row[p], self.col[p], p))
+            .collect();
+        keyed.sort_unstable();
+        let idx: Vec<usize> = keyed.into_iter().map(|(_, _, p)| p).collect();
         self.permute(&idx);
     }
 
@@ -213,19 +217,28 @@ impl Coo3Tensor {
         out
     }
 
-    /// Sorts nonzeros with `cmp` over coordinate triples (stable).
+    /// Sorts nonzeros with `cmp` over coordinate triples (equivalent to
+    /// a stable sort: ties are broken by original position).
     pub fn sort_by(&mut self, mut cmp: impl FnMut(&[i64], &[i64]) -> Ordering) {
         let mut idx: Vec<usize> = (0..self.nnz()).collect();
-        idx.sort_by(|&a, &b| {
+        idx.sort_unstable_by(|&a, &b| {
             cmp(
                 &[self.i0[a], self.i1[a], self.i2[a]],
                 &[self.i0[b], self.i1[b], self.i2[b]],
             )
+            .then(a.cmp(&b))
         });
-        self.i0 = idx.iter().map(|&p| self.i0[p]).collect();
-        self.i1 = idx.iter().map(|&p| self.i1[p]).collect();
-        self.i2 = idx.iter().map(|&p| self.i2[p]).collect();
-        self.val = idx.iter().map(|&p| self.val[p]).collect();
+        self.permute(&idx);
+    }
+
+    /// Reorders nonzeros so that position `p` holds old position
+    /// `perm[p]`.
+    pub fn permute(&mut self, perm: &[usize]) {
+        debug_assert_eq!(perm.len(), self.nnz());
+        self.i0 = perm.iter().map(|&p| self.i0[p]).collect();
+        self.i1 = perm.iter().map(|&p| self.i1[p]).collect();
+        self.i2 = perm.iter().map(|&p| self.i2[p]).collect();
+        self.val = perm.iter().map(|&p| self.val[p]).collect();
     }
 }
 

@@ -110,12 +110,14 @@ impl CscMatrix {
             val[p] = v;
             next[j as usize] += 1;
         }
+        // Position tiebreak makes the unstable sort equivalent to the
+        // stable one it replaced.
         for j in 0..coo.nc {
             let (s, e) = (colptr[j] as usize, colptr[j + 1] as usize);
-            let mut idx: Vec<usize> = (s..e).collect();
-            idx.sort_by_key(|&p| row[p]);
+            let mut keyed: Vec<(i64, usize)> = (s..e).map(|p| (row[p], p)).collect();
+            keyed.sort_unstable();
             let (r_new, v_new): (Vec<i64>, Vec<f64>) =
-                (idx.iter().map(|&p| row[p]).collect(), idx.iter().map(|&p| val[p]).collect());
+                keyed.iter().map(|&(r, p)| (r, val[p])).unzip();
             row[s..e].copy_from_slice(&r_new);
             val[s..e].copy_from_slice(&v_new);
         }

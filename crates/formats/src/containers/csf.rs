@@ -37,7 +37,8 @@ impl CsfTensor {
     }
 
     /// Builds CSF from a (lexicographically sorted, duplicate-free) COO
-    /// tensor; unsorted input is sorted first.
+    /// tensor; unsorted input is sorted first (unstable with position
+    /// tiebreak, equivalent to the stable sort it replaced).
     pub fn from_coo3(t: &Coo3Tensor) -> Self {
         let mut t = t.clone();
         t.sort_by(|a, b| a.cmp(b));

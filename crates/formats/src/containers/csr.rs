@@ -113,15 +113,16 @@ impl CsrMatrix {
             val[p] = v;
             next[i as usize] += 1;
         }
-        // Sort within rows by column.
+        // Sort within rows by column; the position tiebreak makes the
+        // unstable sort equivalent to the stable one it replaced.
         for i in 0..coo.nr {
             let (s, e) = (rowptr[i] as usize, rowptr[i + 1] as usize);
-            let mut idx: Vec<usize> = (s..e).collect();
-            idx.sort_by_key(|&p| col[p]);
-            let (c_old, v_old): (Vec<i64>, Vec<f64>) =
-                (idx.iter().map(|&p| col[p]).collect(), idx.iter().map(|&p| val[p]).collect());
-            col[s..e].copy_from_slice(&c_old);
-            val[s..e].copy_from_slice(&v_old);
+            let mut keyed: Vec<(i64, usize)> = (s..e).map(|p| (col[p], p)).collect();
+            keyed.sort_unstable();
+            let (c_new, v_new): (Vec<i64>, Vec<f64>) =
+                keyed.iter().map(|&(c, p)| (c, val[p])).unzip();
+            col[s..e].copy_from_slice(&c_new);
+            val[s..e].copy_from_slice(&v_new);
         }
         CsrMatrix { nr: coo.nr, nc: coo.nc, rowptr, col, val }
     }

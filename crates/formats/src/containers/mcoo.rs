@@ -6,6 +6,7 @@
 //! abstractions. HiCOO and ALTO use this family of orderings for locality
 //! in mode-agnostic tensor kernels.
 
+use spf_codegen::kernels::morton_sort_perm;
 use spf_codegen::morton::morton_cmp;
 
 use super::coo::{Coo3Tensor, CooMatrix};
@@ -31,13 +32,14 @@ impl MortonCooMatrix {
         Ok(m)
     }
 
-    /// Reference conversion: stable-sorts a COO matrix into Morton order.
+    /// Reference conversion: sorts a COO matrix into Morton order.
+    ///
+    /// Uses the precomputed-key Morton sort (codes packed into `u128`
+    /// where they fit, position tiebreak), so the result is identical to
+    /// a stable comparison sort by [`morton_cmp`].
     pub fn from_coo(coo: &CooMatrix) -> Self {
         let mut sorted = coo.clone();
-        let mut idx: Vec<usize> = (0..coo.nnz()).collect();
-        idx.sort_by(|&a, &b| {
-            morton_cmp(&[coo.row[a], coo.col[a]], &[coo.row[b], coo.col[b]])
-        });
+        let idx = morton_sort_perm(&[&coo.row, &coo.col]);
         sorted.permute(&idx);
         MortonCooMatrix { coo: sorted }
     }
@@ -82,11 +84,13 @@ impl MortonCoo3Tensor {
         Ok(t)
     }
 
-    /// Reference conversion: stable-sorts a COO3 tensor into Morton
-    /// order (the oracle for the Table 4 experiment).
+    /// Reference conversion: sorts a COO3 tensor into Morton order (the
+    /// oracle for the Table 4 experiment), via the precomputed-key
+    /// Morton sort.
     pub fn from_coo3(coo: &Coo3Tensor) -> Self {
         let mut sorted = coo.clone();
-        sorted.sort_by(morton_cmp);
+        let idx = morton_sort_perm(&[&coo.i0, &coo.i1, &coo.i2]);
+        sorted.permute(&idx);
         MortonCoo3Tensor { coo: sorted }
     }
 

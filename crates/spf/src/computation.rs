@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use spf_codegen::ast::{CmpOp, Cond, Expr, SlotAlloc, Stmt as AStmt};
 use spf_codegen::cemit::emit_c_function;
-use spf_codegen::interp::{compile, execute, ExecError, ExecStats, Program};
+use spf_codegen::interp::{compile, execute, execute_quiet, ExecError, ExecStats, Program};
 use spf_codegen::runtime::{ListOrder, OrderedList, RtEnv};
 use spf_codegen::scan::{lin_to_expr, lower_set, LoweredVars, ScanError};
 use spf_ir::expr::{LinExpr, VarId};
@@ -156,16 +156,11 @@ impl Compiled {
         out
     }
 
-    /// Executes against `env`, declaring any ordered lists first.
-    ///
-    /// # Errors
-    /// Fails when a custom comparator is missing from `comparators` or
-    /// execution itself errors.
-    pub fn execute(
+    fn declare_lists(
         &self,
-        env: &mut RtEnv,
+        env: &mut RtEnv<'_>,
         comparators: &ComparatorRegistry,
-    ) -> Result<ExecStats, ExecError> {
+    ) -> Result<(), ExecError> {
         for (name, width, order, unique) in &self.list_decls {
             let order = match order {
                 ListOrderSpec::Insertion => ListOrder::Insertion,
@@ -181,7 +176,37 @@ impl Compiled {
             env.lists
                 .insert(name.clone(), OrderedList::new(*width, order, *unique));
         }
+        Ok(())
+    }
+
+    /// Executes against `env`, declaring any ordered lists first.
+    ///
+    /// # Errors
+    /// Fails when a custom comparator is missing from `comparators` or
+    /// execution itself errors.
+    pub fn execute(
+        &self,
+        env: &mut RtEnv<'_>,
+        comparators: &ComparatorRegistry,
+    ) -> Result<ExecStats, ExecError> {
+        self.declare_lists(env, comparators)?;
         execute(&self.program, env)
+    }
+
+    /// Executes like [`Compiled::execute`] but with [`ExecStats`] counting
+    /// compiled out — the hot-path variant for callers that never read the
+    /// counters (release benchmarks, the conversion engine).
+    ///
+    /// # Errors
+    /// Fails when a custom comparator is missing from `comparators` or
+    /// execution itself errors.
+    pub fn execute_quiet(
+        &self,
+        env: &mut RtEnv<'_>,
+        comparators: &ComparatorRegistry,
+    ) -> Result<(), ExecError> {
+        self.declare_lists(env, comparators)?;
+        execute_quiet(&self.program, env)
     }
 
     /// Extra slots used (diagnostics).

@@ -118,7 +118,7 @@ fn main() {
     let mut env = RtEnv::new();
     synth_run::bind_coo(&mut env, &conv.synth.src, &coo).unwrap();
     conv.execute_env(&mut env).expect("conversion runs");
-    let out = synth_run::extract_coo(&env, &conv.synth.dst, coo.nr, coo.nc)
+    let out = synth_run::extract_coo(&mut env, &conv.synth.dst, coo.nr, coo.nc)
         .expect("valid output");
 
     println!("wavefront order (i, j, i+j):");

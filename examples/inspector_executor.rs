@@ -46,7 +46,7 @@ fn main() {
     let mut env = RtEnv::new();
     synth_run::bind_coo(&mut env, &conv.synth.src, &coo).unwrap();
     conv.execute_env(&mut env).expect("inspector runs");
-    env.data.insert(executor::names::X.to_string(), x.clone());
+    env.data.insert(executor::names::X.to_string(), x.clone().into());
     spmv_compiled
         .execute(&mut env, &ComparatorRegistry::new())
         .expect("executor runs");

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Benchmark driver: runs the criterion benches in quick mode (the
+# vendored criterion shim is already sample-bounded; quick mode just
+# trims the matrix subset via the benches' own constants) and then the
+# kernel-vs-interpreter measurement, emitting BENCH_4.json at the repo
+# root (per-pair ns/nnz for both backends plus speedups).
+#
+# Usage: scripts/bench.sh [--full]
+#   default: quick — small matrices for the JSON artifact (fast sanity)
+#   --full:  the acceptance configuration (10k x 10k, 1M nnz)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-quick}"
+
+echo "==> criterion benches (quick mode)"
+cargo bench -q -p sparse-bench --bench fig2_conversions
+cargo bench -q -p sparse-bench --bench table4_morton
+
+echo "==> kernel backend vs interpreter (BENCH_4.json)"
+if [ "$MODE" = "--full" ]; then
+    cargo run -q --release -p sparse-bench --bin bench4 -- --out BENCH_4.json
+else
+    cargo run -q --release -p sparse-bench --bin bench4 -- \
+        --n 2000 --nnz 200000 --reps 3 --out BENCH_4.json
+fi
+
+echo "Wrote BENCH_4.json"

@@ -25,6 +25,10 @@ echo "==> fault-injection suite (zero-panic execution contract)"
 cargo test -q -p sparse-engine --test fault_injection
 cargo test -q -p sparse-matgen corrupt
 
+echo "==> differential suite (kernel/interpreter bit-identity)"
+cargo test -q -p sparse-synthesis --test differential
+cargo test -q -p sparse-engine --test backend
+
 echo "==> cargo run --release --example lint_descriptor (static-analysis gate)"
 # Lints every catalog descriptor and statically verifies every
 # synthesizable conversion plan; exits nonzero on any error or warning.
