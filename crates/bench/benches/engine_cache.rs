@@ -11,7 +11,10 @@
 //!    vs warm converts (run only). On large inputs the inspector
 //!    execution dominates, so this ratio is modest by design — the cache
 //!    removes the synthesis term, it cannot make execution faster.
-//! 3. **batch** — `convert_batch` over copies of the input at several
+//! 3. **overhead gates** — input validation and the observability
+//!    layer's instrumentation (with the default `NoopSubscriber`) are
+//!    each asserted to cost <5% next to raw execution.
+//! 4. **batch** — `convert_batch` over copies of the input at several
 //!    thread counts (wall-clock scaling requires >1 available CPU; the
 //!    available parallelism is printed alongside).
 //!
@@ -136,7 +139,41 @@ fn main() {
         overhead * 100.0
     );
 
-    // 4. Batch throughput at several widths.
+    // 4. Observability overhead: the engine's warm `convert` runs the
+    //    *instrumented* pipeline — stage timers, span emission, the
+    //    event ring, per-pair histograms — with the default
+    //    `NoopSubscriber`. That whole layer must stay invisible next to
+    //    the uninstrumented baseline (validation + raw execution),
+    //    i.e. what the same warm conversion cost before the
+    //    observability layer existed.
+    let observed = median(
+        (0..SAMPLES * 3)
+            .map(|_| time(|| engine.convert(&src, &dst, &input).unwrap()))
+            .collect(),
+    );
+    let baseline = median(
+        (0..SAMPLES * 3)
+            .map(|_| {
+                time(|| {
+                    sparse_formats::validate_matrix(&plan.synth.src, (&input).into()).unwrap();
+                    plan.run_matrix_unchecked(&input).unwrap()
+                })
+            })
+            .collect(),
+    );
+    let obs_overhead = observed.as_secs_f64() / baseline.as_secs_f64() - 1.0;
+    eprintln!("  obs: baseline (validate+run)  {baseline:>12.2?}");
+    eprintln!(
+        "  obs: instrumented convert     {observed:>12.2?}   overhead = {:+.2}%",
+        obs_overhead * 100.0
+    );
+    assert!(
+        obs_overhead < 0.05,
+        "NoopSubscriber instrumentation must cost <5% on the warm path (got {:+.2}%)",
+        obs_overhead * 100.0
+    );
+
+    // 5. Batch throughput at several widths.
     let batch: Vec<AnyMatrix> = (0..16).map(|_| input.clone()).collect();
     for threads in [1usize, 2, 4, 8] {
         let engine = Engine::with_config(EngineConfig { threads, ..Default::default() });

@@ -1,6 +1,9 @@
 //! Measures the native kernel backend against the SPF-IR interpreter on
 //! every kernel-backed catalog pair and writes the results to
 //! `BENCH_4.json` (per-pair ns/nnz for both backends plus the speedup).
+//! Also gates the observability layer: the instrumented interpreter path
+//! with the default `NoopSubscriber` must cost <5% over the
+//! uninstrumented one, summed across all pairs.
 //!
 //! Usage:
 //!
@@ -121,6 +124,12 @@ fn main() {
     );
 
     let mut rows: Vec<Row> = Vec::new();
+    // The interpreter timings below run through the *instrumented* path
+    // (`run_matrix_quiet` = `run_matrix_observed` + `NoopSubscriber`);
+    // the totals pin its overhead against the uninstrumented
+    // stats-collecting path across every pair.
+    let mut quiet_total = 0.0f64;
+    let mut unchecked_total = 0.0f64;
     for (kind, src, dst) in matrix_pairs() {
         let pair = format!("{} -> {}", src.name, dst.name);
         let conv = Conversion::new(&src, &dst, SynthesisOptions::default())
@@ -135,9 +144,17 @@ fn main() {
         };
         let nnz = input.nnz();
 
+        // One untimed warmup so the first timed section doesn't absorb
+        // allocator/page-fault startup and skew the overhead gate.
+        conv.run_matrix_quiet(input.as_ref()).unwrap();
         let interp = time_min(args.reps, || {
             conv.run_matrix_quiet(input.as_ref()).unwrap();
         });
+        let unchecked = time_min(args.reps, || {
+            conv.run_matrix_unchecked(input.as_ref()).unwrap();
+        });
+        quiet_total += interp;
+        unchecked_total += unchecked;
         let kernel = time_min(args.reps, || {
             conv.run_matrix_kernel(input.as_ref()).unwrap().unwrap();
         });
@@ -171,9 +188,15 @@ fn main() {
             .unwrap_or_else(|e| panic!("{pair}: synthesis failed: {e}"));
         assert!(conv.has_kernel(), "{pair}: no registered kernel");
         let nnz = input.nnz();
+        conv.run_tensor_quiet(input.as_ref()).unwrap();
         let interp = time_min(args.reps, || {
             conv.run_tensor_quiet(input.as_ref()).unwrap();
         });
+        let unchecked = time_min(args.reps, || {
+            conv.run_tensor_unchecked(input.as_ref()).unwrap();
+        });
+        quiet_total += interp;
+        unchecked_total += unchecked;
         let kernel = time_min(args.reps, || {
             conv.run_tensor_kernel(input.as_ref()).unwrap().unwrap();
         });
@@ -195,6 +218,22 @@ fn main() {
 
     let at_least_3x = rows.iter().filter(|r| r.speedup() >= 3.0).count();
     eprintln!("bench4: {}/{} pairs at >= 3x", at_least_3x, rows.len());
+
+    // Observability gate: summed across every pair, the instrumented
+    // interpreter (default `NoopSubscriber`) must sit within 5% of the
+    // uninstrumented stats-collecting path.
+    let obs_overhead = quiet_total / unchecked_total - 1.0;
+    eprintln!(
+        "bench4: instrumented interp {:.3}s vs unchecked {:.3}s, overhead {:+.2}%",
+        quiet_total,
+        unchecked_total,
+        obs_overhead * 100.0
+    );
+    assert!(
+        obs_overhead < 0.05,
+        "NoopSubscriber instrumentation must cost <5% of interpreter time (got {:+.2}%)",
+        obs_overhead * 100.0
+    );
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");

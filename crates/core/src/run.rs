@@ -5,12 +5,14 @@
 
 use std::borrow::Cow;
 use std::fmt;
+use std::time::Instant;
 
 use sparse_formats::{
     AnyMatrix, AnyTensor, Coo3Tensor, CooMatrix, CscMatrix, CsrMatrix, DiaMatrix, EllMatrix,
     FormatDescriptor, FormatError, FormatKind, MatrixRef, MortonCoo3Tensor, MortonCooMatrix,
     TensorRef, ValidationError,
 };
+use sparse_obs::{Span, Stage, Subscriber};
 use spf_codegen::interp::{ExecError, ExecStats};
 use spf_codegen::runtime::RtEnv;
 use spf_computation::{Compiled, ComparatorRegistry};
@@ -185,6 +187,18 @@ impl Conversion {
         self.tensor_kernel.map(|k| k(t.into()))
     }
 
+    /// Replaces this conversion's native rank-2 kernel (or installs one
+    /// where none was registered). This is a **fault-injection and
+    /// benchmarking hook**: the engine's kernel-path accounting (panic
+    /// containment, decline fallback, declined-time attribution) can only
+    /// be regression-tested against kernels with known pathological
+    /// behavior, which the built-in registry rightly refuses to carry.
+    /// Production code paths never call this; the registry match in
+    /// [`Conversion::new`] is the only source of real kernels.
+    pub fn override_matrix_kernel(&mut self, kernel: crate::kernels::MatrixKernelFn) {
+        self.kernel = Some(kernel);
+    }
+
     /// Registers a user-defined comparator for `ListOrderSpec::Custom`
     /// order keys.
     pub fn register_comparator(
@@ -305,12 +319,45 @@ impl Conversion {
         &self,
         m: impl Into<MatrixRef<'a>>,
     ) -> Result<AnyMatrix, RunError> {
+        self.run_matrix_observed(m, 0, &sparse_obs::NoopSubscriber)
+    }
+
+    /// [`Conversion::run_matrix_quiet`] emitting `interp` and `extract`
+    /// stage spans into `obs` (keyed by the caller's `pair` plan
+    /// fingerprint). This is the engine's instrumented interpreter path;
+    /// a [`sparse_obs::NoopSubscriber`] makes it behaviorally identical
+    /// to the quiet variant.
+    ///
+    /// # Errors
+    /// Same contract as [`Conversion::run_matrix_unchecked`].
+    pub fn run_matrix_observed<'a>(
+        &self,
+        m: impl Into<MatrixRef<'a>>,
+        pair: u64,
+        obs: &dyn Subscriber,
+    ) -> Result<AnyMatrix, RunError> {
         let m = m.into();
         let (nr, nc) = m.dims();
         let mut env = RtEnv::new();
         bind_matrix(&mut env, &self.synth.src, m)?;
-        self.execute_env_quiet(&mut env)?;
-        extract_matrix(&mut env, &self.synth.dst, nr, nc)
+        let t0 = Instant::now();
+        let executed = self.execute_env_quiet(&mut env);
+        obs.span(Span {
+            stage: Stage::Interp,
+            pair,
+            nanos: t0.elapsed().as_nanos() as u64,
+            ok: executed.is_ok(),
+        });
+        executed?;
+        let t1 = Instant::now();
+        let out = extract_matrix(&mut env, &self.synth.dst, nr, nc);
+        obs.span(Span {
+            stage: Stage::Extract,
+            pair,
+            nanos: t1.elapsed().as_nanos() as u64,
+            ok: out.is_ok(),
+        });
+        out
     }
 
     /// Converts any order-3 tensor; the tensor analogue of
@@ -354,12 +401,41 @@ impl Conversion {
         &self,
         t: impl Into<TensorRef<'a>>,
     ) -> Result<AnyTensor, RunError> {
+        self.run_tensor_observed(t, 0, &sparse_obs::NoopSubscriber)
+    }
+
+    /// Order-3 analogue of [`Conversion::run_matrix_observed`].
+    ///
+    /// # Errors
+    /// Same contract as [`Conversion::run_tensor_unchecked`].
+    pub fn run_tensor_observed<'a>(
+        &self,
+        t: impl Into<TensorRef<'a>>,
+        pair: u64,
+        obs: &dyn Subscriber,
+    ) -> Result<AnyTensor, RunError> {
         let t = t.into();
         let dims = t.dims();
         let mut env = RtEnv::new();
         bind_tensor(&mut env, &self.synth.src, t)?;
-        self.execute_env_quiet(&mut env)?;
-        extract_tensor(&mut env, &self.synth.dst, dims)
+        let t0 = Instant::now();
+        let executed = self.execute_env_quiet(&mut env);
+        obs.span(Span {
+            stage: Stage::Interp,
+            pair,
+            nanos: t0.elapsed().as_nanos() as u64,
+            ok: executed.is_ok(),
+        });
+        executed?;
+        let t1 = Instant::now();
+        let out = extract_tensor(&mut env, &self.synth.dst, dims);
+        obs.span(Span {
+            stage: Stage::Extract,
+            pair,
+            nanos: t1.elapsed().as_nanos() as u64,
+            ok: out.is_ok(),
+        });
+        out
     }
 
     /// Converts a COO matrix to CSR (destination descriptor must be

@@ -119,11 +119,18 @@ pub(crate) fn estimate_matrix_output_bytes(
             ("dia output", nd.saturating_mul(nr as u64).saturating_mul(VAL).saturating_add(nd * IDX))
         }
         FormatKind::Ell => {
-            // NR × W col + data slots, W = max row population.
+            // NR × W col + data slots, W = max row population. Entries
+            // with out-of-range rows are skipped outright: clamping a
+            // negative index onto row 0 (as an earlier version did)
+            // inflated row 0's population and with it the whole estimate,
+            // causing spurious admission refusals on corrupt inputs that
+            // validation would have rejected with a precise error.
             let mut counts = vec![0u64; nr];
             for_each_coord(input, |i, _| {
-                if let Some(c) = counts.get_mut(i.max(0) as usize) {
-                    *c += 1;
+                if let Ok(i) = usize::try_from(i) {
+                    if let Some(c) = counts.get_mut(i) {
+                        *c += 1;
+                    }
                 }
             });
             let width = counts.iter().copied().max().unwrap_or(0);
@@ -218,6 +225,39 @@ mod tests {
         let (_, bytes) =
             estimate_matrix_output_bytes(&descriptors::coo(), MatrixRef::Csr(&csr));
         assert_eq!(bytes, 10 * 24);
+    }
+
+    /// Regression: the ELL estimator used to clamp negative row indices
+    /// onto row 0 (`i.max(0)`), inflating row 0's population and the
+    /// whole width-based estimate. Out-of-range coordinates must be
+    /// skipped, not relocated.
+    #[test]
+    fn ell_estimate_skips_out_of_range_rows() {
+        // Two entries in row 1 set the true width to 2; three corrupt
+        // entries with negative rows used to pile onto row 0 and push the
+        // estimate to width 3.
+        let mut m = CooMatrix::from_triplets(
+            4,
+            8,
+            vec![1, 1, 2, 2, 2],
+            vec![0, 1, 2, 3, 4],
+            vec![1.0; 5],
+        )
+        .unwrap();
+        m.row[2] = -1;
+        m.row[3] = -7;
+        m.row[4] = -2;
+        let (what, bytes) =
+            estimate_matrix_output_bytes(&descriptors::ell(), MatrixRef::Coo(&m));
+        assert_eq!(what, "ell output");
+        // width 2 × 4 rows × (8-byte col + 8-byte val) — the clamped
+        // regime reported 3 × 4 × 16 = 192 instead.
+        assert_eq!(bytes, 2 * 4 * 16);
+        // Rows past the end are likewise skipped rather than miscounted.
+        m.row[2] = 1_000;
+        let (_, bytes) =
+            estimate_matrix_output_bytes(&descriptors::ell(), MatrixRef::Coo(&m));
+        assert_eq!(bytes, 2 * 4 * 16);
     }
 
     #[test]

@@ -36,7 +36,18 @@
 //! * **Observability** — [`Engine::stats`] snapshots hit/miss/eviction
 //!   counters, conversion and nnz totals, kernel hits vs interpreter
 //!   fallbacks, verification outcomes, and cumulative synthesis vs
-//!   execution vs kernel time.
+//!   execution vs kernel time; every counter increments at exactly one
+//!   trigger site (see the README's stats-semantics table). Beyond the
+//!   counters, the engine emits structured telemetry through the
+//!   `sparse-obs` layer: a [`Subscriber`] receives one [`Span`] per
+//!   completed stage (`plan`, `verify`, `validate`, `admission`,
+//!   `kernel`, `interp`, `extract`), exceptional occurrences land in a
+//!   lock-free [`EventRing`] (dumpable via [`Engine::events_dump`]),
+//!   per-pair latency/nnz histograms accumulate behind
+//!   [`Engine::pair_histograms`], and [`Engine::metrics_text`] renders
+//!   everything as a Prometheus-style text page with stable metric
+//!   names. The default [`NoopSubscriber`] keeps the instrumented hot
+//!   path within noise of the uninstrumented one.
 //!
 //! ```
 //! use sparse_engine::Engine;
@@ -73,10 +84,12 @@ use std::time::{Duration, Instant};
 use sparse_analyze::AnalysisReport;
 use sparse_formats::descriptors::StructuralHasher;
 use sparse_formats::{AnyMatrix, AnyTensor, FormatDescriptor};
+use sparse_obs::{Event, EventKind, EventRing, PairHistograms, PairSnapshot, Span, Stage};
 use sparse_synthesis::{Conversion, RunError, SynthesisOptions};
 
 use cache::{panic_message, Lookup, PlanCache};
 use stats::StatsInner;
+pub use sparse_obs::{CollectingSubscriber, NoopSubscriber, Subscriber};
 pub use stats::EngineStats;
 
 /// A cached plan: the compiled conversion plus (when the engine runs with
@@ -90,6 +103,19 @@ pub struct Plan {
     /// error-severity findings are rejected before caching, so a present
     /// report is always clean.
     pub verification: Option<AnalysisReport>,
+    /// The plan's cache key (structural fingerprints of `(src, dst)`,
+    /// options, and the verification flag). Spans, events, and per-pair
+    /// histograms are keyed by this value so telemetry can be correlated
+    /// back to a specific pair.
+    pub pair: u64,
+}
+
+impl Plan {
+    /// A human-readable `"SRC->DST"` label for this plan's pair, used by
+    /// the per-pair histograms and the metrics exposition.
+    pub fn pair_label(&self) -> String {
+        format!("{}->{}", self.conversion.synth.src.name, self.conversion.synth.dst.name)
+    }
 }
 
 impl Deref for Plan {
@@ -197,6 +223,10 @@ pub struct EngineConfig {
     /// with `verify_plans: false` (the default) or `validate_inputs:
     /// false` behave identically under either variant.
     pub backend: Backend,
+    /// Capacity of the exceptional-event ring buffer (default 1024).
+    /// When full, the oldest event is overwritten and the dropped-event
+    /// counter increments; writers never block. Minimum 1.
+    pub event_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -210,6 +240,7 @@ impl Default for EngineConfig {
             memory_budget: None,
             batch_deadline: None,
             backend: Backend::Auto,
+            event_capacity: 1024,
         }
     }
 }
@@ -232,6 +263,9 @@ pub struct Engine {
     config: EngineConfig,
     cache: PlanCache<Plan>,
     stats: StatsInner,
+    subscriber: Arc<dyn Subscriber>,
+    events: EventRing,
+    pairs: PairHistograms,
 }
 
 impl Default for Engine {
@@ -254,12 +288,25 @@ impl Engine {
         Engine::with_config(EngineConfig::default())
     }
 
-    /// An engine with explicit configuration.
+    /// An engine with explicit configuration and the default
+    /// [`NoopSubscriber`] (counters, event ring, and histograms still
+    /// record; only the subscriber callbacks are skipped).
     pub fn with_config(config: EngineConfig) -> Self {
+        Engine::with_subscriber(config, Arc::new(NoopSubscriber))
+    }
+
+    /// An engine with explicit configuration and a span/event
+    /// [`Subscriber`]. The subscriber runs inline on the conversion hot
+    /// path (concurrently from every batch worker), so implementations
+    /// must be cheap and non-blocking.
+    pub fn with_subscriber(config: EngineConfig, subscriber: Arc<dyn Subscriber>) -> Self {
         Engine {
             cache: PlanCache::new(config.capacity),
+            events: EventRing::new(config.event_capacity),
             config,
             stats: StatsInner::default(),
+            subscriber,
+            pairs: PairHistograms::new(),
         }
     }
 
@@ -309,23 +356,49 @@ impl Engine {
             h.finish()
         };
         StatsInner::add(&self.stats.plan_lookups, 1);
+        let t0 = Instant::now();
         let lookup = self.cache.get_or_insert_with(key, || {
             // Contain synthesizer/verifier panics here so the engine's
             // counters stay exact; the cache's own catch_unwind is the
             // backstop for builders it doesn't control.
-            match catch_unwind(AssertUnwindSafe(|| self.build_plan(src, dst, options, verify))) {
+            match catch_unwind(AssertUnwindSafe(|| self.build_plan(src, dst, options, verify, key)))
+            {
                 Ok(built) => built,
                 Err(payload) => {
                     StatsInner::add(&self.stats.panics_caught, 1);
                     StatsInner::add(&self.stats.plan_failures, 1);
+                    self.note(EventKind::PlanFailed, key, 0, 0);
                     Err(format!("plan construction panicked: {}", panic_message(&*payload)))
                 }
             }
         });
-        match lookup {
-            Lookup::Hit(plan) | Lookup::Miss(plan) => Ok(plan),
-            Lookup::Failed(msg) => Err(EngineError::Plan(msg)),
+        // Hits and misses each have their own counter, incremented here
+        // at the site where the outcome is known — never derived from
+        // `lookups - misses`, which reported transient garbage whenever
+        // a snapshot raced an in-flight lookup.
+        let out = match lookup {
+            Lookup::Hit(plan) => {
+                StatsInner::add(&self.stats.cache_hits, 1);
+                Ok(plan)
+            }
+            Lookup::Miss(plan) => {
+                StatsInner::add(&self.stats.cache_misses, 1);
+                Ok(plan)
+            }
+            Lookup::Failed(msg) => {
+                StatsInner::add(&self.stats.cache_misses, 1);
+                Err(EngineError::Plan(msg))
+            }
+        };
+        if self.subscriber.enabled() {
+            self.subscriber.span(Span {
+                stage: Stage::Plan,
+                pair: key,
+                nanos: t0.elapsed().as_nanos() as u64,
+                ok: out.is_ok(),
+            });
         }
+        out
     }
 
     /// The cache-miss path of [`Engine::plan`]: synthesize, lower, and
@@ -336,24 +409,38 @@ impl Engine {
         dst: &FormatDescriptor,
         options: SynthesisOptions,
         verify: bool,
+        pair: u64,
     ) -> Result<Plan, String> {
         let t0 = Instant::now();
         let built = Conversion::new(src, dst, options).map_err(|e| e.to_string());
         StatsInner::add(&self.stats.synth_nanos, t0.elapsed().as_nanos() as u64);
         match &built {
             Ok(_) => StatsInner::add(&self.stats.plans_synthesized, 1),
-            Err(_) => StatsInner::add(&self.stats.plan_failures, 1),
+            Err(_) => {
+                StatsInner::add(&self.stats.plan_failures, 1);
+                self.note(EventKind::PlanFailed, pair, t0.elapsed().as_nanos() as u64, 0);
+            }
         }
         built.and_then(|conversion| {
             if !verify {
-                return Ok(Plan { conversion, verification: None });
+                return Ok(Plan { conversion, verification: None, pair });
             }
             let t1 = Instant::now();
             let report = sparse_analyze::verify(&conversion.synth);
-            StatsInner::add(&self.stats.verify_nanos, t1.elapsed().as_nanos() as u64);
+            let verify_nanos = t1.elapsed().as_nanos() as u64;
+            StatsInner::add(&self.stats.verify_nanos, verify_nanos);
             StatsInner::add(&self.stats.plans_verified, 1);
+            if self.subscriber.enabled() {
+                self.subscriber.span(Span {
+                    stage: Stage::Verify,
+                    pair,
+                    nanos: verify_nanos,
+                    ok: report.is_clean(),
+                });
+            }
             if !report.is_clean() {
                 StatsInner::add(&self.stats.plans_rejected, 1);
+                self.note(EventKind::PlanRejected, pair, verify_nanos, 0);
                 return Err(format!(
                     "plan verification failed for {}:\n{}",
                     report.pair,
@@ -363,8 +450,18 @@ impl Engine {
             if report.has_parallel_loop() {
                 StatsInner::add(&self.stats.parallel_plans, 1);
             }
-            Ok(Plan { conversion, verification: Some(report) })
+            Ok(Plan { conversion, verification: Some(report), pair })
         })
+    }
+
+    /// Records one exceptional occurrence: into the engine's own ring
+    /// (always) and out to the subscriber (when enabled).
+    fn note(&self, kind: EventKind, pair: u64, nanos: u64, nnz: u64) {
+        let event = Event { kind, pair, nanos, nnz };
+        self.events.push(event);
+        if self.subscriber.enabled() {
+            self.subscriber.event(event);
+        }
     }
 
     /// Converts one matrix from `src` to `dst`, returning the container
@@ -394,17 +491,27 @@ impl Engine {
         input: &AnyTensor,
     ) -> Result<AnyTensor, EngineError> {
         let plan = self.plan(src, dst)?;
+        let pair = plan.pair;
+        let nnz = input.nnz() as u64;
+        let started = Instant::now();
         if self.config.validate_inputs {
-            if let Err(e) = sparse_formats::validate_tensor(&plan.synth.src, input.as_ref()) {
+            let t0 = Instant::now();
+            let checked = sparse_formats::validate_tensor(&plan.synth.src, input.as_ref());
+            self.span_validate(pair, t0.elapsed().as_nanos() as u64, checked.is_ok());
+            if let Err(e) = checked {
                 StatsInner::add(&self.stats.inputs_rejected, 1);
+                self.note(EventKind::InputRejected, pair, 0, nnz);
                 return Err(EngineError::Run(e.into()));
             }
         }
         if let Some(budget) = self.config.memory_budget {
+            let t0 = Instant::now();
             let (what, needed) =
                 admission::estimate_tensor_output_bytes(&plan.synth.dst, input.as_ref());
+            self.span_admission(pair, t0.elapsed().as_nanos() as u64, needed <= budget);
             if needed > budget {
                 StatsInner::add(&self.stats.inputs_rejected, 1);
+                self.note(EventKind::AdmissionRejected, pair, 0, nnz);
                 return Err(EngineError::Run(RunError::ResourceExhausted {
                     what: what.to_string(),
                     needed,
@@ -412,34 +519,50 @@ impl Engine {
                 }));
             }
         }
-        let nnz = input.nnz();
         if self.kernel_eligible(&plan) {
             let t0 = Instant::now();
             let hit = catch_unwind(AssertUnwindSafe(|| plan.run_tensor_kernel(input.as_ref())));
-            if let Ok(Some(Ok(out))) = hit {
-                StatsInner::add(&self.stats.kernel_nanos, t0.elapsed().as_nanos() as u64);
-                StatsInner::add(&self.stats.kernels_hit, 1);
-                StatsInner::add(&self.stats.conversions, 1);
-                StatsInner::add(&self.stats.nnz_moved, nnz as u64);
+            let kernel_nanos = t0.elapsed().as_nanos() as u64;
+            if let Some(out) = self.settle_kernel_attempt(hit, pair, kernel_nanos, nnz) {
+                self.pairs.record(
+                    pair,
+                    || plan.pair_label(),
+                    started.elapsed().as_nanos() as u64,
+                    nnz,
+                );
                 return Ok(out);
             }
             // Declined, missing, or panicked: the interpreter is the
             // answer, never an error.
         }
         let t0 = Instant::now();
-        let out =
-            catch_unwind(AssertUnwindSafe(|| plan.run_tensor_quiet(input.as_ref())));
-        StatsInner::add(&self.stats.exec_nanos, t0.elapsed().as_nanos() as u64);
-        StatsInner::add(&self.stats.conversions, 1);
-        StatsInner::add(&self.stats.interp_fallbacks, 1);
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            plan.run_tensor_observed(input.as_ref(), pair, &*self.subscriber)
+        }));
+        let exec_nanos = t0.elapsed().as_nanos() as u64;
+        StatsInner::add(&self.stats.exec_nanos, exec_nanos);
         match out {
             Ok(Ok(out)) => {
-                StatsInner::add(&self.stats.nnz_moved, nnz as u64);
+                StatsInner::add(&self.stats.conversions, 1);
+                StatsInner::add(&self.stats.interp_fallbacks, 1);
+                StatsInner::add(&self.stats.nnz_moved, nnz);
+                self.pairs.record(
+                    pair,
+                    || plan.pair_label(),
+                    started.elapsed().as_nanos() as u64,
+                    nnz,
+                );
                 Ok(out)
             }
-            Ok(Err(e)) => Err(EngineError::Run(e)),
+            Ok(Err(e)) => {
+                StatsInner::add(&self.stats.conversions_failed, 1);
+                self.note(EventKind::RunFailed, pair, exec_nanos, nnz);
+                Err(EngineError::Run(e))
+            }
             Err(payload) => {
+                StatsInner::add(&self.stats.conversions_failed, 1);
                 StatsInner::add(&self.stats.panics_caught, 1);
+                self.note(EventKind::InterpPanic, pair, exec_nanos, nnz);
                 Err(EngineError::Panicked(panic_message(&*payload)))
             }
         }
@@ -554,6 +677,7 @@ impl Engine {
         if let Some((budget, at)) = deadline {
             if Instant::now() >= at {
                 StatsInner::add(&self.stats.deadline_expired, 1);
+                self.note(EventKind::DeadlineExpired, plan.pair, 0, input.nnz() as u64);
                 return Err(EngineError::Run(RunError::DeadlineExceeded { deadline: budget }));
             }
         }
@@ -563,6 +687,198 @@ impl Engine {
     /// A point-in-time snapshot of this engine's counters.
     pub fn stats(&self) -> EngineStats {
         self.stats.snapshot(self.cache.evictions(), self.cache.len())
+    }
+
+    /// The engine's exceptional-event ring buffer: kernel panics and
+    /// declines, failed runs, rejected inputs, plan failures. Lock-free,
+    /// fixed-size, drop-oldest; [`EventRing::dump`] renders it as text.
+    pub fn events(&self) -> &EventRing {
+        &self.events
+    }
+
+    /// A structured-text dump of the exceptional-event log (newest ring
+    /// contents plus recorded/dropped totals) for debugging failed
+    /// conversions.
+    pub fn events_dump(&self) -> String {
+        self.events.dump()
+    }
+
+    /// Point-in-time copies of every `(src, dst)` pair's latency and nnz
+    /// histograms, sorted by pair label. Only *successful* conversions
+    /// record here (latency is end-to-end: validation + admission +
+    /// execution).
+    pub fn pair_histograms(&self) -> Vec<PairSnapshot> {
+        self.pairs.snapshot()
+    }
+
+    /// This engine's counters, event-log totals, and per-pair histograms
+    /// rendered as a Prometheus-style text page. Metric and label names
+    /// are **stable API** (snapshot-tested): dashboards may key on them.
+    pub fn metrics_text(&self) -> String {
+        let s = self.stats();
+        let mut page = sparse_obs::expo::MetricsText::new();
+        page.counter("engine_plan_lookups_total", "Plan lookups received.", s.plan_lookups);
+        page.counter(
+            "engine_cache_hits_total",
+            "Plan lookups answered from the cache.",
+            s.cache_hits,
+        );
+        page.counter(
+            "engine_cache_misses_total",
+            "Plan lookups that synthesized or observed a failure.",
+            s.cache_misses,
+        );
+        page.counter(
+            "engine_cache_evictions_total",
+            "Plans dropped under the capacity limit.",
+            s.cache_evictions,
+        );
+        page.gauge("engine_cached_plans", "Plans currently resident.", s.cached_plans as u64);
+        page.counter(
+            "engine_plans_synthesized_total",
+            "Plans built by the synthesizer.",
+            s.plans_synthesized,
+        );
+        page.counter(
+            "engine_plan_failures_total",
+            "Plan constructions that failed.",
+            s.plan_failures,
+        );
+        page.counter(
+            "engine_plans_verified_total",
+            "Plans run through the static verifier.",
+            s.plans_verified,
+        );
+        page.counter(
+            "engine_plans_rejected_total",
+            "Plans the verifier refused.",
+            s.plans_rejected,
+        );
+        page.counter(
+            "engine_parallel_plans_total",
+            "Verified plans with a proved parallel loop.",
+            s.parallel_plans,
+        );
+        page.counter(
+            "engine_conversions_total",
+            "Conversions that completed successfully.",
+            s.conversions,
+        );
+        page.counter(
+            "engine_conversions_failed_total",
+            "Executions that started and then failed or panicked.",
+            s.conversions_failed,
+        );
+        page.counter(
+            "engine_nnz_moved_total",
+            "Stored entries moved by successful conversions.",
+            s.nnz_moved,
+        );
+        page.counter(
+            "engine_kernels_hit_total",
+            "Conversions served by a native kernel.",
+            s.kernels_hit,
+        );
+        page.counter(
+            "engine_kernel_declines_total",
+            "Kernel attempts that declined the input.",
+            s.kernel_declines,
+        );
+        page.counter(
+            "engine_kernel_panics_total",
+            "Kernel attempts that panicked (contained).",
+            s.kernel_panics,
+        );
+        page.counter(
+            "engine_interp_fallbacks_total",
+            "Successful conversions executed by the interpreter.",
+            s.interp_fallbacks,
+        );
+        page.counter(
+            "engine_inputs_rejected_total",
+            "Inputs refused before execution (validation or admission).",
+            s.inputs_rejected,
+        );
+        page.counter(
+            "engine_items_failed_total",
+            "Batch items whose final result was an error.",
+            s.items_failed,
+        );
+        page.counter(
+            "engine_panics_caught_total",
+            "Panics contained at an isolation boundary.",
+            s.panics_caught,
+        );
+        page.counter(
+            "engine_degraded_conversions_total",
+            "Batch items retried on the sequential path.",
+            s.degraded_conversions,
+        );
+        page.counter(
+            "engine_deadline_expired_total",
+            "Batch items that never started before the deadline.",
+            s.deadline_expired,
+        );
+        page.counter(
+            "engine_synth_nanoseconds_total",
+            "Wall time in synthesis and lowering.",
+            s.synth_time.as_nanos() as u64,
+        );
+        page.counter(
+            "engine_verify_nanoseconds_total",
+            "Wall time in static plan verification.",
+            s.verify_time.as_nanos() as u64,
+        );
+        page.counter(
+            "engine_validate_nanoseconds_total",
+            "Wall time in input validation and admission estimation.",
+            s.validate_time.as_nanos() as u64,
+        );
+        page.counter(
+            "engine_exec_nanoseconds_total",
+            "Wall time in interpreter execution.",
+            s.exec_time.as_nanos() as u64,
+        );
+        page.counter(
+            "engine_kernel_nanoseconds_total",
+            "Wall time in native kernels that hit.",
+            s.kernel_time.as_nanos() as u64,
+        );
+        page.counter(
+            "engine_kernel_declined_nanoseconds_total",
+            "Wall time in kernel attempts that declined or panicked.",
+            s.kernel_declined_time.as_nanos() as u64,
+        );
+        page.counter(
+            "engine_events_recorded_total",
+            "Exceptional events recorded.",
+            self.events.recorded(),
+        );
+        page.counter(
+            "engine_events_dropped_total",
+            "Exceptional events dropped by the ring.",
+            self.events.dropped(),
+        );
+        let pairs = self.pairs.snapshot();
+        for (i, snap) in pairs.iter().enumerate() {
+            page.summary(
+                "engine_pair_latency_nanoseconds",
+                "End-to-end successful-conversion latency per pair.",
+                &[("pair", &snap.label)],
+                &snap.latency_nanos,
+                i == 0,
+            );
+        }
+        for (i, snap) in pairs.iter().enumerate() {
+            page.summary(
+                "engine_pair_nnz",
+                "Input stored-entry counts per pair.",
+                &[("pair", &snap.label)],
+                &snap.nnz,
+                i == 0,
+            );
+        }
+        page.finish()
     }
 
     /// Drops every cached plan (counters are kept).
@@ -575,17 +891,27 @@ impl Engine {
     /// `catch_unwind`. The panic guard makes this the engine's fault
     /// boundary — nothing downstream of it can take out a caller.
     fn execute_one(&self, plan: &Plan, input: &AnyMatrix) -> Result<AnyMatrix, EngineError> {
+        let pair = plan.pair;
+        let nnz = input.nnz() as u64;
+        let started = Instant::now();
         if self.config.validate_inputs {
-            if let Err(e) = sparse_formats::validate_matrix(&plan.synth.src, input.as_ref()) {
+            let t0 = Instant::now();
+            let checked = sparse_formats::validate_matrix(&plan.synth.src, input.as_ref());
+            self.span_validate(pair, t0.elapsed().as_nanos() as u64, checked.is_ok());
+            if let Err(e) = checked {
                 StatsInner::add(&self.stats.inputs_rejected, 1);
+                self.note(EventKind::InputRejected, pair, 0, nnz);
                 return Err(EngineError::Run(e.into()));
             }
         }
         if let Some(budget) = self.config.memory_budget {
+            let t0 = Instant::now();
             let (what, needed) =
                 admission::estimate_matrix_output_bytes(&plan.synth.dst, input.as_ref());
+            self.span_admission(pair, t0.elapsed().as_nanos() as u64, needed <= budget);
             if needed > budget {
                 StatsInner::add(&self.stats.inputs_rejected, 1);
+                self.note(EventKind::AdmissionRejected, pair, 0, nnz);
                 return Err(EngineError::Run(RunError::ResourceExhausted {
                     what: what.to_string(),
                     needed,
@@ -593,36 +919,122 @@ impl Engine {
                 }));
             }
         }
-        let nnz = input.nnz();
         if self.kernel_eligible(plan) {
             let t0 = Instant::now();
             let hit = catch_unwind(AssertUnwindSafe(|| plan.run_matrix_kernel(input.as_ref())));
-            if let Ok(Some(Ok(out))) = hit {
-                StatsInner::add(&self.stats.kernel_nanos, t0.elapsed().as_nanos() as u64);
-                StatsInner::add(&self.stats.kernels_hit, 1);
-                StatsInner::add(&self.stats.conversions, 1);
-                StatsInner::add(&self.stats.nnz_moved, nnz as u64);
+            let kernel_nanos = t0.elapsed().as_nanos() as u64;
+            if let Some(out) = self.settle_kernel_attempt(hit, pair, kernel_nanos, nnz) {
+                self.pairs.record(
+                    pair,
+                    || plan.pair_label(),
+                    started.elapsed().as_nanos() as u64,
+                    nnz,
+                );
                 return Ok(out);
             }
             // Declined, missing, or panicked: fall through to the
-            // interpreter — fallback is never an error.
+            // interpreter — fallback is never an error. The attempt's
+            // cost and cause were attributed by `settle_kernel_attempt`.
         }
         let t0 = Instant::now();
-        let out =
-            catch_unwind(AssertUnwindSafe(|| plan.run_matrix_quiet(input.as_ref())));
-        StatsInner::add(&self.stats.exec_nanos, t0.elapsed().as_nanos() as u64);
-        StatsInner::add(&self.stats.conversions, 1);
-        StatsInner::add(&self.stats.interp_fallbacks, 1);
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            plan.run_matrix_observed(input.as_ref(), pair, &*self.subscriber)
+        }));
+        let exec_nanos = t0.elapsed().as_nanos() as u64;
+        StatsInner::add(&self.stats.exec_nanos, exec_nanos);
         match out {
             Ok(Ok(out)) => {
-                StatsInner::add(&self.stats.nnz_moved, nnz as u64);
+                StatsInner::add(&self.stats.conversions, 1);
+                StatsInner::add(&self.stats.interp_fallbacks, 1);
+                StatsInner::add(&self.stats.nnz_moved, nnz);
+                self.pairs.record(
+                    pair,
+                    || plan.pair_label(),
+                    started.elapsed().as_nanos() as u64,
+                    nnz,
+                );
                 Ok(out)
             }
-            Ok(Err(e)) => Err(EngineError::Run(e)),
+            Ok(Err(e)) => {
+                StatsInner::add(&self.stats.conversions_failed, 1);
+                self.note(EventKind::RunFailed, pair, exec_nanos, nnz);
+                Err(EngineError::Run(e))
+            }
             Err(payload) => {
+                StatsInner::add(&self.stats.conversions_failed, 1);
                 StatsInner::add(&self.stats.panics_caught, 1);
+                self.note(EventKind::InterpPanic, pair, exec_nanos, nnz);
                 Err(EngineError::Panicked(panic_message(&*payload)))
             }
+        }
+    }
+
+    /// Settles one guarded kernel attempt, attributing its cost and
+    /// outcome: a hit counts `kernels_hit`/`conversions` and returns the
+    /// output; a decline or contained panic counts its own stat, banks
+    /// the attempt's wall time under `kernel_declined_time` (so stage
+    /// times still sum to wall time), emits an event, and returns `None`
+    /// so the caller falls back to the interpreter. An earlier regime
+    /// collapsed all three non-hit cases into a silent fall-through,
+    /// dropping both the panic count and the attempt's time.
+    fn settle_kernel_attempt<T>(
+        &self,
+        attempt: std::thread::Result<Option<Result<T, RunError>>>,
+        pair: u64,
+        kernel_nanos: u64,
+        nnz: u64,
+    ) -> Option<T> {
+        let out = match attempt {
+            Ok(Some(Ok(out))) => {
+                StatsInner::add(&self.stats.kernel_nanos, kernel_nanos);
+                StatsInner::add(&self.stats.kernels_hit, 1);
+                StatsInner::add(&self.stats.conversions, 1);
+                StatsInner::add(&self.stats.nnz_moved, nnz);
+                Some(out)
+            }
+            Ok(Some(Err(_declined))) => {
+                StatsInner::add(&self.stats.kernel_declines, 1);
+                StatsInner::add(&self.stats.kernel_declined_nanos, kernel_nanos);
+                self.note(EventKind::KernelDecline, pair, kernel_nanos, nnz);
+                None
+            }
+            // A kernel registered for the other rank only: nothing ran,
+            // nothing to account.
+            Ok(None) => return None,
+            Err(_payload) => {
+                StatsInner::add(&self.stats.kernel_panics, 1);
+                StatsInner::add(&self.stats.panics_caught, 1);
+                StatsInner::add(&self.stats.kernel_declined_nanos, kernel_nanos);
+                self.note(EventKind::KernelPanic, pair, kernel_nanos, nnz);
+                None
+            }
+        };
+        if self.subscriber.enabled() {
+            self.subscriber.span(Span {
+                stage: Stage::Kernel,
+                pair,
+                nanos: kernel_nanos,
+                ok: out.is_some(),
+            });
+        }
+        out
+    }
+
+    /// Emits one `validate` stage span (stats time is always banked; the
+    /// subscriber call is skipped when disabled).
+    fn span_validate(&self, pair: u64, nanos: u64, ok: bool) {
+        StatsInner::add(&self.stats.validate_nanos, nanos);
+        if self.subscriber.enabled() {
+            self.subscriber.span(Span { stage: Stage::Validate, pair, nanos, ok });
+        }
+    }
+
+    /// Emits one `admission` stage span (estimation time banked under
+    /// `validate_time` alongside input validation).
+    fn span_admission(&self, pair: u64, nanos: u64, ok: bool) {
+        StatsInner::add(&self.stats.validate_nanos, nanos);
+        if self.subscriber.enabled() {
+            self.subscriber.span(Span { stage: Stage::Admission, pair, nanos, ok });
         }
     }
 
@@ -718,7 +1130,7 @@ mod tests {
             "EXPLODES",
             Arc::new(|_: &[i64], _: &[i64]| panic!("comparator exploded")),
         );
-        let plan = Plan { conversion, verification: None };
+        let plan = Plan { conversion, verification: None, pair: 0 };
         let input = AnyMatrix::Coo(
             CooMatrix::from_triplets(
                 4,
@@ -737,7 +1149,9 @@ mod tests {
         }
         let stats = engine.stats();
         assert_eq!(stats.panics_caught, 1, "the panic must be counted");
-        assert_eq!(stats.conversions, 1, "the attempt still counts as a conversion");
+        assert_eq!(stats.conversions, 0, "a panicked execution is not a conversion");
+        assert_eq!(stats.conversions_failed, 1, "it is a failed conversion");
+        assert_eq!(stats.interp_fallbacks, 0, "fallbacks count successes only");
         assert_eq!(stats.nnz_moved, 0, "panicked conversions move no nnz");
 
         // The engine — cache, counters, later converts — survives intact.
@@ -746,5 +1160,81 @@ mod tests {
             .unwrap();
         assert!(matches!(out, AnyMatrix::Csr(_)));
         assert_eq!(engine.stats().panics_caught, 1);
+    }
+
+    /// A kernel-eligible plan for scoo -> csr (clean verification report
+    /// attached) whose native kernel is replaced by `kernel` through the
+    /// fault-injection hook.
+    fn kernel_plan(kernel: sparse_synthesis::MatrixKernelFn) -> Plan {
+        let mut conversion =
+            Conversion::new(&descriptors::scoo(), &descriptors::csr(), SynthesisOptions::default())
+                .unwrap();
+        let report = sparse_analyze::verify(&conversion.synth);
+        assert!(report.is_clean(), "scoo -> csr must verify cleanly");
+        conversion.override_matrix_kernel(kernel);
+        Plan { conversion, verification: Some(report), pair: 42 }
+    }
+
+    fn sorted_input() -> AnyMatrix {
+        AnyMatrix::Coo(
+            CooMatrix::from_triplets(
+                4,
+                4,
+                vec![0, 1, 2, 3],
+                vec![1, 0, 3, 2],
+                vec![1.0, 2.0, 3.0, 4.0],
+            )
+            .unwrap(),
+        )
+    }
+
+    /// Regression: a panicking kernel used to be swallowed by the
+    /// `if let Ok(Some(Ok(..)))` fall-through — no `panics_caught`, no
+    /// event, no time attributed. The fallback behavior (interpreter
+    /// answers, caller sees success) is pinned unchanged.
+    #[test]
+    fn panicking_kernel_is_counted_and_falls_back() {
+        let engine = Engine::new();
+        let plan = kernel_plan(|_| panic!("kernel exploded"));
+        assert!(engine.kernel_eligible(&plan), "the test must exercise the kernel gate");
+
+        let out = engine.execute_one(&plan, &sorted_input()).unwrap();
+        assert!(matches!(out, AnyMatrix::Csr(_)), "fallback must still answer");
+        let stats = engine.stats();
+        assert_eq!(stats.kernel_panics, 1, "the kernel panic must be counted");
+        assert_eq!(stats.panics_caught, 1, "and roll up into panics_caught");
+        assert_eq!(stats.kernels_hit, 0);
+        assert_eq!(stats.conversions, 1, "the interpreter completed the conversion");
+        assert_eq!(stats.interp_fallbacks, 1);
+        assert_eq!(stats.conversions_failed, 0, "a contained kernel panic is not a failure");
+        assert!(engine.events_dump().contains("kernel-panic"), "{}", engine.events_dump());
+    }
+
+    /// Regression: a declining kernel's probe time used to be dropped on
+    /// the floor (`t0` was only banked on a hit), so per-conversion stage
+    /// times did not sum to wall time.
+    #[test]
+    fn declining_kernel_time_is_attributed() {
+        let engine = Engine::new();
+        let plan = kernel_plan(|_| {
+            std::thread::sleep(Duration::from_millis(5));
+            Err(RunError::Unsupported("declined by test".into()))
+        });
+
+        let out = engine.execute_one(&plan, &sorted_input()).unwrap();
+        assert!(matches!(out, AnyMatrix::Csr(_)));
+        let stats = engine.stats();
+        assert_eq!(stats.kernel_declines, 1);
+        assert_eq!(stats.kernels_hit, 0);
+        assert_eq!(stats.kernel_time, Duration::ZERO, "no hit, no kernel_time");
+        assert!(
+            stats.kernel_declined_time >= Duration::from_millis(5),
+            "the declined attempt's {:?} must be attributed",
+            stats.kernel_declined_time
+        );
+        assert_eq!(stats.conversions, 1);
+        assert_eq!(stats.interp_fallbacks, 1);
+        assert_eq!(stats.panics_caught, 0, "declining is not a panic");
+        assert!(engine.events_dump().contains("kernel-decline"), "{}", engine.events_dump());
     }
 }

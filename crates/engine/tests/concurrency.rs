@@ -51,6 +51,78 @@ fn n_threads_synthesize_exactly_once() {
     assert_eq!(stats.conversions, (THREADS * CONVERTS) as u64);
 }
 
+/// Regression: `cache_hits` used to be *derived* at snapshot time as
+/// `plan_lookups - (plans_synthesized + plan_failures)`, so a snapshot
+/// racing an in-flight lookup (lookup counted, outcome not yet) reported
+/// phantom hits. Two contracts pin the fix:
+///
+/// 1. A pair that always fails synthesis can never produce a hit, in any
+///    snapshot, no matter when it is taken (a sampler thread asserts
+///    this while workers hammer the failing pair — under the derived
+///    formula it trips within a few iterations).
+/// 2. At rest, hits are exact: after a barrier-aligned stampede on one
+///    pair, exactly one lookup missed and every other one hit.
+#[test]
+fn cache_hit_counter_is_exact_not_derived() {
+    const WORKERS: usize = 4;
+    const LOOKUPS: usize = 50;
+    let engine = Engine::new();
+    // DIA has no executable scan, so DIA-as-source always fails
+    // synthesis; failures are never cached, so every lookup is a miss.
+    let src = descriptors::dia();
+    let dst = descriptors::csr();
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let remaining = AtomicUsize::new(WORKERS);
+
+    std::thread::scope(|s| {
+        for _ in 0..WORKERS {
+            s.spawn(|| {
+                for _ in 0..LOOKUPS {
+                    assert!(engine.plan(&src, &dst).is_err());
+                }
+                remaining.fetch_sub(1, Ordering::Relaxed);
+            });
+        }
+        // The sampler races snapshots against in-flight lookups until the
+        // last worker retires.
+        s.spawn(|| {
+            while remaining.load(Ordering::Relaxed) > 0 {
+                let sample = engine.stats();
+                assert_eq!(
+                    sample.cache_hits, 0,
+                    "a pair that never synthesizes can never hit (sampled mid-flight)"
+                );
+                std::hint::spin_loop();
+            }
+        });
+    });
+
+    let stats = engine.stats();
+    assert_eq!(stats.cache_hits, 0);
+    assert_eq!(stats.cache_misses, (WORKERS * LOOKUPS) as u64);
+    assert_eq!(stats.plan_lookups, stats.cache_hits + stats.cache_misses);
+
+    // Contract 2: barrier-aligned stampede on a pair that synthesizes.
+    const THREADS: usize = 8;
+    let engine = Engine::new();
+    let src = descriptors::scoo();
+    let dst = descriptors::csr();
+    let barrier = std::sync::Barrier::new(THREADS);
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            s.spawn(|| {
+                barrier.wait();
+                engine.plan(&src, &dst).unwrap();
+            });
+        }
+    });
+    let stats = engine.stats();
+    assert_eq!(stats.plan_lookups, THREADS as u64);
+    assert_eq!(stats.cache_misses, 1, "exactly one thread ran the builder");
+    assert_eq!(stats.cache_hits, THREADS as u64 - 1, "every other thread hit");
+    assert_eq!(stats.plans_synthesized, 1);
+}
+
 #[test]
 fn batch_matches_sequential_element_for_element() {
     let src = descriptors::scoo();

@@ -238,6 +238,43 @@ fn stats_stay_exact_under_concurrent_corrupted_batches() {
     assert_eq!(stats.plans_synthesized, 1, "every batch shares one cached plan");
 }
 
+/// Regression: `conversions` (and `interp_fallbacks`) used to increment
+/// before the execution outcome was known, so failed and panicked runs
+/// inflated the conversion count and the "conversions succeeded" story
+/// the counter tells was a lie. Failed executions now count under
+/// `conversions_failed` only.
+#[test]
+fn failed_runs_are_not_counted_as_conversions() {
+    // Validation off: the mismatched container reaches the run path and
+    // fails inside it (bind-time dispatch error) instead of being
+    // rejected up front.
+    let engine = Engine::with_config(EngineConfig {
+        validate_inputs: false,
+        ..Default::default()
+    });
+    let (src, dst) = (descriptors::scoo(), descriptors::csr());
+    let good = AnyMatrix::Coo(sample_coo());
+    let wrong = AnyMatrix::Csr(CsrMatrix::from_coo(&sample_coo()));
+
+    engine.convert(&src, &dst, &good).unwrap();
+    assert!(engine.convert(&src, &dst, &wrong).is_err());
+    assert!(engine.convert(&src, &dst, &wrong).is_err());
+    engine.convert(&src, &dst, &good).unwrap();
+
+    let stats = engine.stats();
+    assert_eq!(stats.conversions, 2, "only completed conversions count");
+    assert_eq!(stats.conversions_failed, 2, "failed runs get their own counter");
+    assert_eq!(stats.interp_fallbacks, 2, "fallbacks count successes only");
+    assert_eq!(
+        stats.kernels_hit + stats.interp_fallbacks,
+        stats.conversions,
+        "the backend-accounting invariant holds under failures"
+    );
+    assert_eq!(stats.inputs_rejected, 0, "nothing was rejected before execution");
+    assert_eq!(stats.nnz_moved, 2 * good.nnz() as u64, "failed runs move no nnz");
+    assert!(engine.events_dump().contains("run-failed"), "{}", engine.events_dump());
+}
+
 #[test]
 fn corruption_sweep_stays_typed_with_kernel_backend_enabled() {
     // The native kernel backend only ever runs behind validated inputs

@@ -1,0 +1,160 @@
+//! Prometheus-style text exposition.
+//!
+//! [`MetricsText`] builds the classic `# HELP` / `# TYPE` / sample-line
+//! format. Metric and label **names are stable API** — dashboards key on
+//! them — and the engine's exposition is snapshot-tested against exactly
+//! this renderer. Durations are exposed as integer nanosecond counters
+//! (`*_nanoseconds_total`) rather than float seconds so values stay
+//! exact and snapshot-normalizable; histograms are exposed summary-style
+//! (p50/p95/p99 quantiles + `_count` + `_sum`), with the quantile values
+//! taken from [`Histogram::quantile`]'s conservative bucket upper
+//! bounds.
+
+use std::fmt::Write as _;
+
+use crate::Histogram;
+
+/// Incremental builder for a Prometheus-style text page.
+#[derive(Debug, Default)]
+pub struct MetricsText {
+    out: String,
+}
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+impl MetricsText {
+    /// An empty page.
+    pub fn new() -> Self {
+        MetricsText::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// One unlabelled monotone counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// One unlabelled gauge (a value that can go down, e.g. current
+    /// cache occupancy).
+    pub fn gauge(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// A summary-style rendering of one histogram under `labels`:
+    /// quantile sample lines for p50/p95/p99 plus `_count` and `_sum`.
+    /// Emits the `# HELP`/`# TYPE` header only when `first` is true, so
+    /// several label sets can share one metric family.
+    pub fn summary(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        hist: &Histogram,
+        first: bool,
+    ) {
+        if first {
+            self.header(name, help, "summary");
+        }
+        for (q, qv) in [("0.5", hist.p50()), ("0.95", hist.p95()), ("0.99", hist.p99())] {
+            let mut all: Vec<(&str, &str)> = labels.to_vec();
+            all.push(("quantile", q));
+            let _ = writeln!(self.out, "{name}{} {qv}", render_labels(&all));
+        }
+        let labels = render_labels(labels);
+        let _ = writeln!(self.out, "{name}_count{labels} {}", hist.count());
+        let _ = writeln!(self.out, "{name}_sum{labels} {}", hist.sum());
+    }
+
+    /// The finished page.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The renderer's output format is load-bearing (the engine's
+    /// `metrics_text` snapshot test builds on it), so pin it exactly on
+    /// a deterministic input.
+    #[test]
+    fn exposition_snapshot() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 900] {
+            h.record(v);
+        }
+        let mut page = MetricsText::new();
+        page.counter("demo_conversions_total", "Conversions executed.", 4);
+        page.gauge("demo_cached_plans", "Plans resident in the cache.", 2);
+        page.summary(
+            "demo_latency_nanoseconds",
+            "Conversion latency.",
+            &[("pair", "SCOO->CSR")],
+            &h,
+            true,
+        );
+        let expected = "\
+# HELP demo_conversions_total Conversions executed.
+# TYPE demo_conversions_total counter
+demo_conversions_total 4
+# HELP demo_cached_plans Plans resident in the cache.
+# TYPE demo_cached_plans gauge
+demo_cached_plans 2
+# HELP demo_latency_nanoseconds Conversion latency.
+# TYPE demo_latency_nanoseconds summary
+demo_latency_nanoseconds{pair=\"SCOO->CSR\",quantile=\"0.5\"} 3
+demo_latency_nanoseconds{pair=\"SCOO->CSR\",quantile=\"0.95\"} 1023
+demo_latency_nanoseconds{pair=\"SCOO->CSR\",quantile=\"0.99\"} 1023
+demo_latency_nanoseconds_count{pair=\"SCOO->CSR\"} 4
+demo_latency_nanoseconds_sum{pair=\"SCOO->CSR\"} 906
+";
+        assert_eq!(page.finish(), expected);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let rendered = render_labels(&[("pair", "a\"b\\c\nd")]);
+        assert_eq!(rendered, "{pair=\"a\\\"b\\\\c\\nd\"}");
+    }
+
+    #[test]
+    fn shared_family_emits_header_once() {
+        let h = Histogram::new();
+        h.record(5);
+        let mut page = MetricsText::new();
+        page.summary("m", "help", &[("pair", "a")], &h, true);
+        page.summary("m", "help", &[("pair", "b")], &h, false);
+        let text = page.finish();
+        assert_eq!(text.matches("# TYPE m summary").count(), 1);
+        assert_eq!(text.matches("m_count").count(), 2);
+    }
+}

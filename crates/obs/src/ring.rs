@@ -1,0 +1,248 @@
+//! A lock-free, fixed-size, drop-oldest event log.
+//!
+//! Writers claim a global ticket with one `fetch_add`, then publish into
+//! the slot the ticket maps to under a per-slot sequence word: `0` means
+//! empty, [`WRITING`] means a writer is mid-publish, anything else is
+//! `ticket + 1` of the event the slot holds. A writer that finds its slot
+//! mid-publish (another writer lapped the ring while this one was
+//! in-flight — requires `capacity` concurrent writers) **drops its event
+//! and moves on** rather than waiting: the hot path never blocks.
+//! Overwriting a previously published event (the normal full-ring case)
+//! also counts toward [`EventRing::dropped`], so `recorded - dropped`
+//! events are always retrievable.
+//!
+//! Every slot field is a plain atomic — no locks, no `unsafe`. Readers
+//! snapshot slots with a seq/re-check protocol and simply skip slots that
+//! are empty, mid-publish, or changed underneath them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{Event, EventKind};
+
+/// Sentinel sequence value marking a slot a writer is publishing into.
+const WRITING: u64 = u64::MAX;
+
+#[derive(Default)]
+struct Slot {
+    /// `0` empty, [`WRITING`] mid-publish, else `ticket + 1`.
+    seq: AtomicU64,
+    kind: AtomicU64,
+    pair: AtomicU64,
+    nanos: AtomicU64,
+    nnz: AtomicU64,
+}
+
+/// A lock-free fixed-size ring of [`Event`]s with drop-oldest semantics
+/// and an exact dropped-event counter.
+pub struct EventRing {
+    slots: Box<[Slot]>,
+    /// Total publish attempts (the ticket source).
+    head: AtomicU64,
+    /// Events no longer retrievable: overwritten by newer ones, or
+    /// abandoned because their slot was mid-publish.
+    dropped: AtomicU64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, Slot::default);
+        EventRing {
+            slots: slots.into_boxed_slice(),
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (including ones since dropped).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to overwrite (ring full) or publish contention.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Records one event. Never blocks, never allocates; O(1).
+    pub fn push(&self, e: Event) {
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket as usize) % self.slots.len()];
+        let current = slot.seq.load(Ordering::Acquire);
+        if current == WRITING {
+            // Another writer is publishing into this slot right now (it
+            // holds a ticket one full lap behind ours). Dropping *our*
+            // event keeps the path lock-free; with any reasonable
+            // capacity this needs `capacity` simultaneous writers.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if slot
+            .seq
+            .compare_exchange(current, WRITING, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if current != 0 {
+            // We just claimed a slot holding a published (older) event:
+            // the drop-oldest case.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        slot.kind.store(e.kind.code(), Ordering::Relaxed);
+        slot.pair.store(e.pair, Ordering::Relaxed);
+        slot.nanos.store(e.nanos, Ordering::Relaxed);
+        slot.nnz.store(e.nnz, Ordering::Relaxed);
+        slot.seq.store(ticket + 1, Ordering::Release);
+    }
+
+    /// A point-in-time copy of the retained events, oldest first. Slots
+    /// mid-publish (or republished during the read) are skipped — the
+    /// snapshot never contains a torn event.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let mut out: Vec<(u64, Event)> = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == 0 || seq == WRITING {
+                continue;
+            }
+            let kind = slot.kind.load(Ordering::Relaxed);
+            let pair = slot.pair.load(Ordering::Relaxed);
+            let nanos = slot.nanos.load(Ordering::Relaxed);
+            let nnz = slot.nnz.load(Ordering::Relaxed);
+            if slot.seq.load(Ordering::Acquire) != seq {
+                continue; // republished underneath us: fields may be torn
+            }
+            let Some(kind) = EventKind::from_code(kind) else { continue };
+            out.push((seq, Event { kind, pair, nanos, nnz }));
+        }
+        out.sort_by_key(|(seq, _)| *seq);
+        out.into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// Renders the retained events as a structured-text log, oldest
+    /// first, with the recorded/dropped totals — the thing to print when
+    /// a conversion fails and the counters alone don't say why.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let events = self.snapshot();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "events: {} recorded, {} dropped, {} retained (capacity {})",
+            self.recorded(),
+            self.dropped(),
+            events.len(),
+            self.capacity()
+        );
+        for e in &events {
+            let _ = writeln!(
+                out,
+                "  {:<18} pair={:#018x} nnz={} nanos={}",
+                e.kind.as_str(),
+                e.pair,
+                e.nnz,
+                e.nanos
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, pair: u64) -> Event {
+        Event { kind, pair, nanos: pair * 10, nnz: pair * 100 }
+    }
+
+    #[test]
+    fn retains_everything_under_capacity() {
+        let ring = EventRing::new(8);
+        for i in 0..5 {
+            ring.push(ev(EventKind::RunFailed, i));
+        }
+        let got = ring.snapshot();
+        assert_eq!(got.len(), 5);
+        assert_eq!(ring.recorded(), 5);
+        assert_eq!(ring.dropped(), 0);
+        // Oldest first, fields intact.
+        for (i, e) in got.iter().enumerate() {
+            assert_eq!(e.pair, i as u64);
+            assert_eq!(e.nnz, i as u64 * 100);
+        }
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts_drops() {
+        let ring = EventRing::new(4);
+        for i in 0..10 {
+            ring.push(ev(EventKind::KernelDecline, i));
+        }
+        let got = ring.snapshot();
+        assert_eq!(got.len(), 4, "ring retains exactly its capacity");
+        let pairs: Vec<u64> = got.iter().map(|e| e.pair).collect();
+        assert_eq!(pairs, [6, 7, 8, 9], "the oldest events are the ones dropped");
+        assert_eq!(ring.recorded(), 10);
+        assert_eq!(ring.dropped(), 6, "every overwrite counts");
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let ring = EventRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push(ev(EventKind::InputRejected, 1));
+        ring.push(ev(EventKind::InputRejected, 2));
+        let got = ring.snapshot();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].pair, 2);
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn dump_renders_totals_and_kinds() {
+        let ring = EventRing::new(4);
+        ring.push(ev(EventKind::KernelPanic, 3));
+        ring.push(ev(EventKind::InputRejected, 4));
+        let text = ring.dump();
+        assert!(text.contains("2 recorded, 0 dropped, 2 retained"), "{text}");
+        assert!(text.contains("kernel-panic"), "{text}");
+        assert!(text.contains("input-rejected"), "{text}");
+        assert!(text.contains("nnz=400"), "{text}");
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_accounting() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 1000;
+        let ring = EventRing::new(16);
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let ring = &ring;
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        ring.push(ev(EventKind::RunFailed, t * PER_THREAD + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.recorded(), THREADS * PER_THREAD);
+        let retained = ring.snapshot().len() as u64;
+        assert!(retained <= 16);
+        // recorded = dropped + retained (every event is exactly one).
+        assert_eq!(
+            ring.recorded(),
+            ring.dropped() + retained,
+            "accounting must balance exactly"
+        );
+    }
+}

@@ -25,6 +25,15 @@ echo "==> fault-injection suite (zero-panic execution contract)"
 cargo test -q -p sparse-engine --test fault_injection
 cargo test -q -p sparse-matgen corrupt
 
+echo "==> observability suite (obs crate + span/counter/exposition contracts)"
+# The sparse-obs unit tests (ring overflow accounting, histogram bucket
+# edges, exposition formatting) plus the engine-level contracts: stage
+# span coverage, exact counter semantics under faults and concurrency,
+# and the metrics_text() snapshot (metric names are stable API).
+cargo test -q -p sparse-obs
+cargo test -q -p sparse-engine --test observability
+cargo test -q -p sparse-engine --test concurrency
+
 echo "==> differential suite (kernel/interpreter bit-identity)"
 cargo test -q -p sparse-synthesis --test differential
 cargo test -q -p sparse-engine --test backend

@@ -17,6 +17,8 @@
 //! * [`synthesis`] — the paper's contribution: the synthesis algorithm
 //! * [`baselines`] — TACO/SPARSKIT/MKL/HiCOO comparator models
 //! * [`matgen`] — synthetic evaluation data (Tables 3 and 4 twins)
+//! * [`obs`] — observability: stage spans, event ring, histograms,
+//!   metrics exposition
 //!
 //! ## Quickstart
 //!
@@ -51,6 +53,7 @@ pub use sparse_baselines as baselines;
 pub use sparse_engine as engine;
 pub use sparse_formats as formats;
 pub use sparse_matgen as matgen;
+pub use sparse_obs as obs;
 pub use sparse_synthesis as synthesis;
 pub use spf_codegen as codegen;
 pub use spf_computation as spf;
